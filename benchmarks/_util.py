@@ -1,0 +1,24 @@
+"""Shared benchmark reporting: print tables and persist them to disk.
+
+pytest captures stdout, so every bench also writes its paper-shaped table
+to ``benchmarks/results/<name>.txt``; EXPERIMENTS.md points there.  Run
+``pytest benchmarks/ --benchmark-only -s`` to see tables live.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench import Table
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def report(table: Table, filename: str) -> None:
+    """Print the table and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    text = table.render()
+    print()
+    print(text)
+    with open(os.path.join(RESULTS_DIR, filename), "w") as handle:
+        handle.write(text + "\n")

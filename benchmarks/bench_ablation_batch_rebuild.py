@@ -1,0 +1,75 @@
+"""Ablation: per-tuple propagation vs bulk rebuild for large batches.
+
+The paper's opening motivation — "small changes beget small changes" —
+implies a crossover: once a batch is comparable to the database size,
+recomputing the views beats propagating tuple by tuple.  This ablation
+sweeps the batch size on the Fig. 3 query and locates the crossover of
+``apply_batch(..., rebuild_factor=...)``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bench import Table
+from repro.data import Database, Update, counting
+from repro.query import parse_query
+from repro.viewtree import ViewTreeEngine
+
+from _util import report
+
+QUERY = parse_query("Q(Y, X, Z) = R(Y, X) * S(Y, Z)")
+BASE_ROWS = 3000
+BATCHES = [30, 300, 3000, 30000]
+
+
+def _engine(seed=0):
+    rng = random.Random(seed)
+    db = Database()
+    r = db.create("R", ("Y", "X"))
+    s = db.create("S", ("Y", "Z"))
+    for _ in range(BASE_ROWS):
+        r.insert(rng.randrange(100), rng.randrange(BASE_ROWS))
+        s.insert(rng.randrange(100), rng.randrange(BASE_ROWS))
+    return ViewTreeEngine(QUERY, db)
+
+
+def _batch(size, seed=1):
+    rng = random.Random(seed)
+    return [
+        Update(
+            rng.choice(["R", "S"]),
+            (rng.randrange(100), rng.randrange(BASE_ROWS)),
+            1,
+        )
+        for _ in range(size)
+    ]
+
+
+def bench_batch_rebuild_ablation(benchmark):
+    benchmark.pedantic(_ablation_table, rounds=1, iterations=1)
+
+
+def _ablation_table():
+    table = Table(
+        f"Ablation -- batch handling on a base of {2 * BASE_ROWS} tuples: "
+        "total ops per batch",
+        ["batch size", "propagate per-tuple", "bulk rebuild", "winner"],
+    )
+    for size in BATCHES:
+        batch = _batch(size)
+
+        engine = _engine()
+        with counting() as ops:
+            engine.apply_batch(list(batch), rebuild_factor=None)
+        propagate = ops.total()
+
+        engine2 = _engine()
+        with counting() as ops:
+            engine2.apply_batch(list(batch), rebuild_factor=0.0)
+        rebuild = ops.total()
+
+        assert engine.output_relation() == engine2.output_relation()
+        winner = "propagate" if propagate < rebuild else "rebuild"
+        table.add(size, propagate, rebuild, winner)
+    report(table, "ablation_batch_rebuild.txt")

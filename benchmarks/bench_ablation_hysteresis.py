@@ -1,0 +1,62 @@
+"""Ablation: hysteresis in the heavy/light partition (Section 3.3).
+
+The paper's rebalancing argument requires that a value's migrations be
+paid for by the updates that moved its degree.  With a single threshold
+(no hysteresis), an adversarial insert/delete oscillation around the
+boundary migrates the value's whole group on *every* step; the factor-2
+hysteresis band restores amortization.  The ablation measures exactly
+that adversary.
+"""
+
+from __future__ import annotations
+
+from repro.bench import Table
+from repro.data import counting
+from repro.ivme import PartitionedRelation
+
+from _util import report
+
+GROUP = 200  # tuples sharing the oscillating partition value
+STEPS = 300
+
+
+def _oscillate(hysteresis: float) -> tuple[float, int]:
+    """Run the adversary; return (ops/step, migrations)."""
+    part = PartitionedRelation(
+        "R", ("A", "B"), "A", threshold=GROUP, hysteresis=hysteresis
+    )
+    migrations = [0]
+    part.add_listener(lambda *_args: migrations.__setitem__(0, migrations[0] + 1))
+    # Fill the group to just below the threshold.
+    for b in range(GROUP - 1):
+        part.add((0, b), 1)
+    with counting() as ops:
+        for step in range(STEPS):
+            # One insert crosses the threshold, one delete crosses back.
+            part.add((0, GROUP + step), 1)
+            part.add((0, GROUP + step), -1)
+    return ops.total() / STEPS, migrations[0]
+
+
+def bench_hysteresis_ablation(benchmark):
+    benchmark.pedantic(_hysteresis_table, rounds=1, iterations=1)
+
+
+def _hysteresis_table():
+    table = Table(
+        "Ablation -- partition hysteresis under threshold oscillation "
+        f"(group of {GROUP}, {STEPS} insert/delete pairs)",
+        ["hysteresis", "ops/step", "migrations"],
+    )
+    results = {}
+    for hysteresis in (1.001, 2.0, 4.0):
+        per_step, migrations = _oscillate(hysteresis)
+        results[hysteresis] = (per_step, migrations)
+        table.add(hysteresis, per_step, migrations)
+    report(table, "ablation_hysteresis.txt")
+
+    # Without a band the adversary forces a migration per oscillation;
+    # with the paper-style band it forces at most the initial promotion.
+    assert results[1.001][1] >= STEPS
+    assert results[2.0][1] <= 2
+    assert results[2.0][0] * 10 < results[1.001][0]

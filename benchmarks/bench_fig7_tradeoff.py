@@ -1,0 +1,88 @@
+"""Fig. 7 / Example 5.1: the IVM^eps preprocessing/update/delay trade-off.
+
+For ``Q(A) = SUM_B R(A,B) * S(B)`` — the simplest non-q-hierarchical
+query — IVM^eps achieves O(N) preprocessing, O(N^eps) update time and
+O(N^(1-eps)) enumeration delay, tracing the line between the eager
+(eps=1) and lazy (eps=0) extremes in Fig. 7's trade-off space.
+
+The bench sweeps eps on a skewed instance and reports measured elementary
+operations: per-update cost should *rise* with eps while per-tuple delay
+*falls*, crossing near eps = 1/2 — the weakly Pareto optimal point.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bench import Table, growth_exponent, time_call
+from repro.data import Update, counting
+from repro.ivme import TradeoffEngine
+
+from _util import report
+
+EPSILONS = [0.0, 0.25, 0.5, 0.75, 1.0]
+N = 4000
+
+
+def _skewed_updates(n, seed=0):
+    """R tuples with Zipf-ish B degrees plus S tuples over the B domain."""
+    rng = random.Random(seed)
+    updates = []
+    b_domain = max(4, int(n**0.6))
+    for _ in range(n):
+        # Low B values are heavy.
+        b = min(int(rng.paretovariate(1.1)) - 1, b_domain - 1)
+        updates.append(Update("R", (rng.randrange(n), b), 1))
+    for b in range(b_domain):
+        updates.append(Update("S", (b,), 1))
+    return updates, b_domain
+
+
+def bench_fig7_tradeoff_table(benchmark):
+    benchmark.pedantic(_tradeoff_table, rounds=1, iterations=1)
+
+
+def _tradeoff_table():
+    load, b_domain = _skewed_updates(N)
+    rng = random.Random(1)
+    probes = [
+        Update("S", (rng.randrange(b_domain),), 1) for _ in range(200)
+    ] + [Update("R", (rng.randrange(N), rng.randrange(b_domain)), 1) for _ in range(200)]
+
+    table = Table(
+        "Fig. 7 -- IVM^eps trade-off for Q(A) = SUM_B R(A,B) * S(B)   (N = %d)" % N,
+        ["eps", "preprocess s", "ops/update", "ops/output tuple", "output size"],
+    )
+    update_costs = []
+    delays = []
+    for eps in EPSILONS:
+        engine = TradeoffEngine(epsilon=eps)
+        seconds, _ = time_call(lambda: engine.apply_batch(load))
+        with counting() as ops:
+            for probe in probes:
+                engine.apply(probe)
+        per_update = ops.total() / len(probes)
+        with counting() as ops:
+            output_size = sum(1 for _ in engine.enumerate())
+        per_tuple = ops.total() / max(output_size, 1)
+        update_costs.append(per_update)
+        delays.append(per_tuple)
+        table.add(eps, seconds, per_update, per_tuple, output_size)
+    report(table, "fig7_tradeoff.txt")
+
+    # Paper shape: update cost grows with eps, delay falls with eps.
+    assert update_costs[-1] > update_costs[0]
+    assert delays[0] > delays[-1]
+
+
+def bench_fig7_update_eps_half(benchmark):
+    """Wall-clock single-tuple update at the Pareto point eps = 1/2."""
+    load, b_domain = _skewed_updates(N // 2)
+    engine = TradeoffEngine(epsilon=0.5)
+    engine.apply_batch(load)
+    rng = random.Random(2)
+
+    def one_update():
+        engine.apply(Update("S", (rng.randrange(b_domain),), 1))
+
+    benchmark(one_update)

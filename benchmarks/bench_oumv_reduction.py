@@ -1,0 +1,63 @@
+"""Theorem 3.4: the OuMv -> triangle-detection reduction.
+
+Algorithm B solves an OuMv round with O(n) updates to a triangle-IVM
+engine plus one detection request.  With the IVM^eps engine's
+O(N^(1/2)) = O(n) update time, a round costs ~O(n^2) — the same order as
+the naive recomputation, which is exactly the point: a *sub*-O(N^(1/2))
+engine would break the conjecture.  The bench verifies agreement and
+reports per-round costs; the reduction's growth should track the naive
+solver's (quadratic per round), not beat it.
+"""
+
+from __future__ import annotations
+
+from repro.bench import Table, growth_exponent, time_call
+from repro.lowerbounds import OuMvInstance, solve_oumv_via_ivm
+
+from _util import report
+
+SIZES = [8, 16, 32]
+ROUNDS = 6
+
+
+def bench_oumv_table(benchmark):
+    benchmark.pedantic(_oumv_table, rounds=1, iterations=1)
+
+
+def _oumv_table():
+    table = Table(
+        "Theorem 3.4 -- OuMv: naive O(n^3) vs the IVM triangle reduction",
+        ["n", "naive s/round", "reduction s/round", "answers agree"],
+    )
+    naive_times, reduction_times, ns = [], [], []
+    for n in SIZES:
+        # Sparse matrix + dense vectors: mostly-negative answers force
+        # the naive solver through its full O(n^2) scan per round.
+        instance = OuMvInstance.random(
+            n, density=1.0 / n, seed=n, rounds=ROUNDS, vector_density=0.6
+        )
+        naive_seconds, naive_answers = time_call(instance.solve_naive)
+        red_seconds, red_answers = time_call(lambda: solve_oumv_via_ivm(instance))
+        agree = naive_answers == red_answers
+        table.add(n, naive_seconds / ROUNDS, red_seconds / ROUNDS, agree)
+        ns.append(n)
+        naive_times.append(max(naive_seconds, 1e-9))
+        reduction_times.append(max(red_seconds, 1e-9))
+        assert agree
+    table.add(
+        "growth exp",
+        round(growth_exponent(ns, naive_times), 2),
+        round(growth_exponent(ns, reduction_times), 2),
+        "",
+    )
+    report(table, "oumv_reduction.txt")
+
+
+def bench_oumv_round(benchmark):
+    """One OuMv round through the reduction (n = 24)."""
+    instance = OuMvInstance.random(24, density=0.2, seed=7, rounds=1)
+
+    def one_round():
+        solve_oumv_via_ivm(instance)
+
+    benchmark(one_round)

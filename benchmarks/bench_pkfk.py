@@ -1,0 +1,59 @@
+"""Example 4.13: PK-FK joins under valid update batches.
+
+The JOB-style star join Title x Movie_Companies x Company_Name is not
+q-hierarchical, yet valid batches are processed in amortized O(1) per
+single-tuple update: the expensive dimension updates (touching all
+referencing facts) are paid for by the cheap fact updates that reference
+them.  The bench measures the amortized per-update cost across growing
+batch sizes — it should stay flat — and separates the fact/dimension
+cost profile.
+"""
+
+from __future__ import annotations
+
+from repro.bench import Table, growth_exponent
+from repro.data import counting
+from repro.workloads import job_star_counter, valid_insert_batch
+
+from _util import report
+
+BATCHES = [500, 2000, 8000]
+
+
+def bench_pkfk_amortized_table(benchmark):
+    benchmark.pedantic(_amortized_table, rounds=1, iterations=1)
+
+
+def _amortized_table():
+    table = Table(
+        "Example 4.13 -- JOB star join: amortized ops per update "
+        "(valid out-of-order batches)",
+        ["batch size", "ops/update", "final count", "consistent"],
+    )
+    costs = []
+    for size in BATCHES:
+        movies = max(4, size // 20)
+        companies = max(4, size // 25)
+        facts = size - movies - companies
+        batch = valid_insert_batch(movies, companies, facts, seed=size)
+        counter = job_star_counter()
+        with counting() as ops:
+            counter.apply_batch(batch)
+        per_update = ops.total() / len(batch)
+        costs.append(per_update)
+        table.add(len(batch), per_update, counter.count, counter.is_consistent())
+
+    table.add("growth exp", round(growth_exponent(BATCHES, costs), 2), "", "")
+    report(table, "pkfk_amortized.txt")
+    assert growth_exponent(BATCHES, costs) < 0.25  # amortized O(1)
+
+
+def bench_pkfk_batch(benchmark):
+    batch = valid_insert_batch(100, 80, 1800, seed=1)
+
+    def run_batch():
+        counter = job_star_counter()
+        counter.apply_batch(batch)
+        return counter.count
+
+    benchmark(run_batch)

@@ -1,0 +1,107 @@
+"""Theorem 4.1's dichotomy, measured.
+
+* q-hierarchical query (the Fig. 3 query): single-tuple update cost and
+  per-tuple enumeration delay stay flat as the database grows.
+* the simplest non-q-hierarchical query Q(A) = SUM_B R(A,B) * S(B),
+  maintained eagerly with a free-top view tree: worst-case update cost
+  grows linearly with N (heavy B-value updates) — the lower-bound side
+  says no algorithm can push both update and delay below N^(1/2).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bench import Table, growth_exponent
+from repro.data import Database, Update, counting
+from repro.query import parse_query, search_order
+from repro.viewtree import ViewTreeEngine
+
+from _util import report
+
+QH = parse_query("Q(Y, X, Z) = R(Y, X) * S(Y, Z)")
+NON_QH = parse_query("Q(A) = R(A, B) * S(B)")
+SIZES = [500, 2000, 8000]
+
+
+def bench_dichotomy_table(benchmark):
+    benchmark.pedantic(_dichotomy_table, rounds=1, iterations=1)
+
+
+def _dichotomy_table():
+    table = Table(
+        "Theorem 4.1 -- measured update cost and delay vs N",
+        [
+            "N",
+            "q-hier ops/update",
+            "q-hier ops/tuple",
+            "non-q-hier ops/update (heavy B)",
+        ],
+    )
+    qh_updates, qh_delays, non_updates = [], [], []
+    for n in SIZES:
+        rng = random.Random(n)
+        # --- q-hierarchical engine
+        db = Database()
+        r = db.create("R", ("Y", "X"))
+        s = db.create("S", ("Y", "Z"))
+        for _ in range(n):
+            r.insert(rng.randrange(n // 4), rng.randrange(n))
+            s.insert(rng.randrange(n // 4), rng.randrange(n))
+        engine = ViewTreeEngine(QH, db)
+        with counting() as ops:
+            for _ in range(50):
+                engine.apply(
+                    Update("R", (rng.randrange(n // 4), rng.randrange(n)), 1)
+                )
+        per_update = ops.total() / 50
+        out_size = sum(1 for _ in engine.enumerate())
+        with counting() as ops:
+            for _ in engine.enumerate():
+                pass
+        per_tuple = ops.total() / max(out_size, 1)
+
+        # --- non-q-hierarchical engine, heavy B updates
+        db2 = Database()
+        r2 = db2.create("R", ("A", "B"))
+        s2 = db2.create("S", ("B",))
+        for a in range(n):
+            r2.insert(a, 0)  # B = 0 heavy
+        s2.insert(0)
+        engine2 = ViewTreeEngine(NON_QH, db2, search_order(NON_QH, require_free_top=True))
+        with counting() as ops:
+            engine2.apply(Update("S", (0,), 1))
+        non_update = ops.total()
+
+        qh_updates.append(per_update)
+        qh_delays.append(per_tuple)
+        non_updates.append(non_update)
+        table.add(n, per_update, per_tuple, non_update)
+
+    table.add(
+        "growth exp",
+        round(growth_exponent(SIZES, qh_updates), 2),
+        round(growth_exponent(SIZES, qh_delays), 2),
+        round(growth_exponent(SIZES, non_updates), 2),
+    )
+    report(table, "qhierarchical_dichotomy.txt")
+
+    # Flat for q-hierarchical (exponent ~0), linear for the other side.
+    assert growth_exponent(SIZES, qh_updates) < 0.2
+    assert growth_exponent(SIZES, non_updates) > 0.8
+
+
+def bench_qhierarchical_update(benchmark):
+    rng = random.Random(5)
+    db = Database()
+    r = db.create("R", ("Y", "X"))
+    s = db.create("S", ("Y", "Z"))
+    for _ in range(5000):
+        r.insert(rng.randrange(800), rng.randrange(5000))
+        s.insert(rng.randrange(800), rng.randrange(5000))
+    engine = ViewTreeEngine(QH, db)
+
+    def one_update():
+        engine.apply(Update("R", (rng.randrange(800), rng.randrange(5000)), 1))
+
+    benchmark(one_update)

@@ -1,0 +1,65 @@
+"""A query workload maintained jointly, with automatic cascades (§4.2).
+
+Run:  python examples/multi_query_workload.py
+
+Analytics teams rarely maintain one view — they maintain dozens.
+Section 4.2's insight: a non-q-hierarchical query can often be rewritten
+over a q-hierarchical colleague and piggyback on its maintenance.  The
+``MultiQueryEngine`` automates the search: it plans each query, detects
+cascade opportunities, and routes updates once.
+
+Workload: a clickstream session view (q-hierarchical), a three-way
+funnel view that cascades over it, and an independent campaign view.
+"""
+
+import random
+
+from repro.cascade import MultiQueryEngine
+from repro.data import Database, Update
+from repro.query import parse_query
+
+SESSIONS = parse_query(
+    "Sessions(user, page, dur) = Clicks(user, page) * Visits(page, dur)"
+)
+FUNNEL = parse_query(
+    "Funnel(user, page, dur, cmp) = "
+    "Clicks(user, page) * Visits(page, dur) * Attribution(dur, cmp)"
+)
+CAMPAIGNS = parse_query("Campaigns(cmp, spend) = Budget(cmp, spend)")
+
+
+def main() -> None:
+    db = Database()
+    for name in ("Clicks", "Visits", "Attribution", "Budget"):
+        db.create(name, ("x", "y"))
+
+    engine = MultiQueryEngine([FUNNEL, SESSIONS, CAMPAIGNS], db)
+    print("workload plan:")
+    for line in engine.plan_report().splitlines():
+        print(f"  {line}")
+
+    rng = random.Random(1)
+    for _ in range(2000):
+        relation = rng.choice(["Clicks", "Visits", "Attribution", "Budget"])
+        engine.apply(
+            Update(relation, (rng.randrange(25), rng.randrange(25)), 1)
+        )
+
+    print("\nafter 2000 updates:")
+    # Condition (ii) of Section 4.2: enumerate the host before the rider.
+    sessions = sum(1 for _ in engine.enumerate("Sessions"))
+    funnel = sum(1 for _ in engine.enumerate("Funnel"))
+    campaigns = sum(1 for _ in engine.enumerate("Campaigns"))
+    print(f"  Sessions rows:  {sessions}")
+    print(f"  Funnel rows:    {funnel}   (maintained via the Sessions cascade)")
+    print(f"  Campaigns rows: {campaigns}")
+
+    print(
+        "\nThe funnel query is not q-hierarchical on its own; its "
+        "rewriting over Sessions is,\nso both enjoy amortized O(1) "
+        "updates with the enumerate-host-first protocol."
+    )
+
+
+if __name__ == "__main__":
+    main()

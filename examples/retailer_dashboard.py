@@ -1,0 +1,66 @@
+"""Retailer dashboard: the paper's Fig. 4 scenario as an application.
+
+Run:  python examples/retailer_dashboard.py
+
+A retailer continuously ingests inventory scans and weather readings,
+while an analyst's dashboard repeatedly asks for the per-location,
+per-day, per-item join of five relations.  The query is q-hierarchical,
+so F-IVM-style view trees (the ``eager-fact`` strategy) refresh the
+dashboard with constant work per scan and constant delay per row —
+exactly the regime in which Fig. 4 shows factorization winning.
+
+The script ingests a stream in batches, refreshes the dashboard after
+every few batches, and reports throughput for two strategies so the
+difference is visible first-hand.
+"""
+
+import time
+
+from repro.data import batches_of
+from repro.viewtree import make_strategy
+from repro.workloads import (
+    retailer_database,
+    retailer_query,
+    retailer_update_stream,
+)
+
+
+def run(strategy_name: str, updates, batch_size=500, enum_every=4) -> None:
+    db = retailer_database(
+        locations=25, dates=20, items=50, inventory_rows=1000, seed=0
+    )
+    query = retailer_query()
+    strategy = make_strategy(strategy_name, query, db)
+
+    start = time.perf_counter()
+    rows = 0
+    refreshes = 0
+    for index, batch in enumerate(batches_of(updates, batch_size)):
+        for update in batch:
+            strategy.apply(update)
+        if index % enum_every == enum_every - 1:
+            refreshes += 1
+            rows = sum(1 for _ in strategy.enumerate())
+    elapsed = time.perf_counter() - start
+    print(
+        f"  {strategy_name:11s}  {len(updates) / elapsed:10,.0f} updates/s   "
+        f"{refreshes} dashboard refreshes, last showed {rows} rows"
+    )
+
+
+def main() -> None:
+    updates = retailer_update_stream(
+        4000, locations=25, dates=20, items=50, seed=1, delete_fraction=0.1
+    )
+    print("Ingesting 4000 scan updates (10% corrections/deletes):")
+    run("eager-fact", updates)   # F-IVM: factorized views
+    run("lazy-list", updates)    # recompute the dashboard on demand
+
+    print(
+        "\neager-fact keeps every dashboard refresh O(output) and every "
+        "scan O(1);\nlazy-list re-joins five relations per refresh."
+    )
+
+
+if __name__ == "__main__":
+    main()

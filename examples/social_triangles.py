@@ -1,0 +1,54 @@
+"""Social-network triangle monitoring with IVM^epsilon (Section 3.3).
+
+Run:  python examples/social_triangles.py
+
+Counts triangles in a follow-graph under a sliding window of the most
+recent edges — a classic social-network-health metric.  Real follow
+graphs are heavily skewed (celebrity hubs), which is precisely the regime
+where the heavy/light partitioning of IVM^epsilon earns its keep: the
+worst-case O(sqrt(N)) update time beats the O(N) of plain delta queries
+on the hub updates.
+
+The script maintains the count over a Zipf-skewed stream and shows the
+partition state (which accounts became "heavy") along the way.
+"""
+
+from repro.data import Update
+from repro.ivme import TriangleCounter
+from repro.workloads import sliding_window_stream, zipf_edges
+
+
+def main() -> None:
+    edges = zipf_edges(nodes=300, edges=2500, skew=1.2, seed=7)
+    window = 1200
+    counter = TriangleCounter(epsilon=0.5)
+
+    print(f"streaming {len(edges)} follows, window = {window} edges\n")
+    checkpoints = {len(edges) // 4, len(edges) // 2, 3 * len(edges) // 4}
+    seen = 0
+    for update in sliding_window_stream(edges, window):
+        counter.apply(update)
+        if update.relation == "R" and update.payload > 0:
+            seen += 1
+            if seen in checkpoints:
+                hubs = sorted(counter.R.heavy_values())[:6]
+                print(
+                    f"  after {seen:5d} follows: triangles={counter.count:7d}  "
+                    f"heavy accounts={hubs}{'...' if len(counter.R.heavy_values()) > 6 else ''}"
+                )
+
+    print(f"\nfinal window triangle count: {counter.count}")
+    print(
+        f"heavy/light split of R: {len(counter.R.heavy)} heavy tuples, "
+        f"{len(counter.R.light)} light tuples "
+        f"(threshold N^0.5 = {counter.R.threshold:.1f})"
+    )
+    print(
+        "\nEvery single follow/unfollow was processed in amortized "
+        "O(sqrt(N)) time -- worst-case optimal for triangle counting "
+        "under the OuMv conjecture (Theorem 3.4)."
+    )
+
+
+if __name__ == "__main__":
+    main()

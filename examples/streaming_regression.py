@@ -1,0 +1,84 @@
+"""In-database machine learning over evolving data (Section 6 / F-IVM).
+
+Run:  python examples/streaming_regression.py
+
+The paper's Section 6 points to IVM for analytics: F-IVM maintains
+machine-learning aggregates by swapping the payload ring.  Here a view
+tree over the *covariance ring* keeps the degree-2 statistics (count,
+sums, sums of products) of the join
+
+    Sales(store, price) * Footfall(store, visitors)
+
+fresh under updates.  Those statistics are exactly what least-squares
+regression of price on visitors needs, so the model refits in O(1) after
+every single-tuple insert or delete — no re-scan of the join.
+"""
+
+import random
+
+from repro.data import Database, Update
+from repro.query import parse_query
+from repro.rings import CovarianceRing, LiftingMap, moment_lifting
+from repro.viewtree import ViewTreeEngine
+
+
+def fit(moments) -> tuple[float, float]:
+    """Least-squares price ~ visitors from the maintained moments."""
+    n = moments.count
+    if n == 0:
+        return 0.0, 0.0
+    var = moments.quad_of("v", "v") / n - moments.mean_of("v") ** 2
+    cov = moments.covariance("v", "p")
+    slope = cov / var if var else 0.0
+    intercept = moments.mean_of("p") - slope * moments.mean_of("v")
+    return slope, intercept
+
+
+def main() -> None:
+    ring = CovarianceRing()
+    db = Database(ring=ring)
+    # One row per (store, day): daily revenue and daily visitor counts
+    # live in different systems and meet only in the join.
+    db.create("Sales", ("store", "day", "p"))
+    db.create("Footfall", ("store", "day", "v"))
+
+    query = parse_query("Q() = Sales(store, day, p) * Footfall(store, day, v)")
+    lifting = LiftingMap(
+        ring, {"p": moment_lifting("p"), "v": moment_lifting("v")}
+    )
+    engine = ViewTreeEngine(query, db, lifting=lifting)
+
+    rng = random.Random(0)
+    true_slope, true_intercept = 2.5, 10.0
+    day_counter = [0]
+
+    def insert_observation():
+        store = rng.randrange(40)
+        day = day_counter[0]
+        day_counter[0] += 1
+        visitors = rng.uniform(10, 100)
+        price = true_intercept + true_slope * visitors + rng.gauss(0, 5.0)
+        engine.apply(Update("Footfall", (store, day, round(visitors, 2)), ring.one))
+        engine.apply(Update("Sales", (store, day, round(price, 2)), ring.one))
+
+    print("streaming observations; model refits incrementally:\n")
+    for batch in range(5):
+        for _ in range(200):
+            insert_observation()
+        moments = engine.scalar()
+        slope, intercept = fit(moments)
+        print(
+            f"  after {200 * (batch + 1):4d} obs: "
+            f"price ~ {slope:5.2f} * visitors + {intercept:6.2f}  "
+            f"(true: {true_slope} * visitors + {true_intercept}; "
+            f"n={moments.count:.0f})"
+        )
+
+    print(
+        "\nEach refit read one maintained ring payload -- the covariance "
+        "matrix of the join -- updated in O(1) per tuple by the view tree."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Benchmark harness helpers."""
+
+from .harness import (
+    Table,
+    ThroughputResult,
+    growth_exponent,
+    run_throughput,
+    time_call,
+)
+
+__all__ = [
+    "Table",
+    "ThroughputResult",
+    "growth_exponent",
+    "run_throughput",
+    "time_call",
+]

@@ -1,0 +1,139 @@
+"""Benchmark harness utilities: timing, throughput runs, report tables.
+
+All benches in ``benchmarks/`` print their results through these helpers
+so that the paper-shaped tables and series look uniform and are easy to
+diff against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+
+def time_call(operation: Callable[[], Any]) -> tuple[float, Any]:
+    """Wall-clock one call; returns (seconds, result)."""
+    start = time.perf_counter()
+    result = operation()
+    return time.perf_counter() - start, result
+
+
+@dataclass
+class ThroughputResult:
+    """Outcome of one strategy run over an update stream."""
+
+    strategy: str
+    updates: int
+    enumerations: int
+    seconds: float
+    tuples_enumerated: int = 0
+
+    @property
+    def throughput(self) -> float:
+        """Updates processed per second (including enumeration time)."""
+        return self.updates / self.seconds if self.seconds else math.inf
+
+
+def run_throughput(
+    strategy_name: str,
+    apply_update: Callable[[Any], None],
+    enumerate_all: Callable[[], Iterable],
+    updates: Sequence,
+    batch_size: int,
+    enum_interval: int,
+    time_budget: float | None = None,
+) -> ThroughputResult:
+    """Replay the Fig. 4 protocol: apply update batches; after every
+    ``enum_interval`` batches issue a full enumeration request.
+
+    ``time_budget`` (seconds) mirrors the paper's 50-hour cutoff: a run
+    exceeding it stops early and reports the throughput achieved so far.
+    """
+    start = time.perf_counter()
+    applied = 0
+    enumerations = 0
+    tuples_seen = 0
+    batch_index = 0
+    for offset in range(0, len(updates), batch_size):
+        for update in updates[offset : offset + batch_size]:
+            apply_update(update)
+            applied += 1
+        batch_index += 1
+        if enum_interval and batch_index % enum_interval == 0:
+            enumerations += 1
+            for _ in enumerate_all():
+                tuples_seen += 1
+        if time_budget is not None and time.perf_counter() - start > time_budget:
+            break
+    seconds = time.perf_counter() - start
+    return ThroughputResult(
+        strategy_name, applied, enumerations, seconds, tuples_seen
+    )
+
+
+@dataclass
+class Table:
+    """A fixed-width text table, printed like the paper's result tables."""
+
+    title: str
+    columns: Sequence[str]
+    rows: list[Sequence[Any]] = field(default_factory=list)
+
+    def add(self, *row: Any) -> None:
+        self.rows.append(row)
+
+    def render(self) -> str:
+        cells = [[str(c) for c in self.columns]] + [
+            [_format(value) for value in row] for row in self.rows
+        ]
+        widths = [
+            max(len(row[i]) for row in cells) for i in range(len(self.columns))
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(c.ljust(w) for c, w in zip(cells[0], widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in cells[1:]:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print()
+        print(self.render())
+        print()
+
+
+def _format(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def growth_exponent(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of log(y) vs log(x): the measured growth rate.
+
+    Used by scaling benches to check claims like "update time grows like
+    N^(1/2)" without relying on absolute constants.
+    """
+    pairs = [
+        (math.log(x), math.log(y))
+        for x, y in zip(xs, ys)
+        if x > 0 and y > 0
+    ]
+    if len(pairs) < 2:
+        return float("nan")
+    n = len(pairs)
+    sx = sum(p[0] for p in pairs)
+    sy = sum(p[1] for p in pairs)
+    sxx = sum(p[0] * p[0] for p in pairs)
+    sxy = sum(p[0] * p[1] for p in pairs)
+    denominator = n * sxx - sx * sx
+    if denominator == 0:
+        return float("nan")
+    return (n * sxy - sx * sy) / denominator

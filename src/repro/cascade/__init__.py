@@ -1,0 +1,11 @@
+"""Cascading q-hierarchical queries (Section 4.2)."""
+
+from .engine import CascadeEngine, StaleCascadeError
+from .multi import MultiQueryEngine, QueryAssignment
+
+__all__ = [
+    "CascadeEngine",
+    "MultiQueryEngine",
+    "QueryAssignment",
+    "StaleCascadeError",
+]

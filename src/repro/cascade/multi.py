@@ -1,0 +1,155 @@
+"""Multi-query maintenance: plan cascades across a query set (§4.2).
+
+Section 4.2 opens with the observation that *sets* of queries offer
+reuse: a non-q-hierarchical query can piggyback on a q-hierarchical one.
+``MultiQueryEngine`` automates that search over a workload: for every
+query that is not q-hierarchical on its own, it tries to rewrite it over
+each q-hierarchical member of the set; queries with a sound
+q-hierarchical rewriting are served by a :class:`CascadeEngine`, the rest
+by their individually-planned engines.
+
+Each member engine runs over a private snapshot of the relations it
+needs (engines already keep private leaf copies; this makes the isolation
+explicit), while the shared database receives every update exactly once —
+so cross-engine aliasing cannot arise, at the price of O(#queries * N)
+memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
+
+from ..core.engine import IVMEngine
+from ..data.database import Database
+from ..data.update import Update
+from ..query.ast import Query
+from ..query.properties import is_q_hierarchical
+from ..query.rewriting import rewrite_using
+from .engine import CascadeEngine
+
+
+@dataclass
+class QueryAssignment:
+    """How one workload query is maintained."""
+
+    query: Query
+    mode: str  # "direct" | "cascade-host" | "cascade-rider"
+    via: Optional[str] = None  # host query name for riders
+
+    def __str__(self) -> str:
+        if self.mode == "cascade-rider":
+            return f"{self.query.name}: cascades over {self.via}"
+        return f"{self.query.name}: {self.mode}"
+
+
+class MultiQueryEngine:
+    """Maintain a set of queries, cascading where Section 4.2 allows."""
+
+    def __init__(self, queries: list[Query], database: Database):
+        names = [q.name for q in queries]
+        if len(set(names)) != len(names):
+            raise ValueError("workload queries must have distinct names")
+        self.database = database
+        self.assignments: dict[str, QueryAssignment] = {}
+        self._cascades: dict[str, CascadeEngine] = {}
+        self._direct: dict[str, IVMEngine] = {}
+        #: relation name -> engines (by query name) consuming its updates.
+        self._routes: dict[str, list[str]] = {}
+
+        # Phase 1: plan — find a host for every non-q-hierarchical query.
+        hosts = [q for q in queries if is_q_hierarchical(q)]
+        rider_host: dict[str, Query] = {}
+        for query in queries:
+            if is_q_hierarchical(query):
+                continue
+            for host in hosts:
+                rewriting = rewrite_using(query, host)
+                if rewriting is not None and is_q_hierarchical(rewriting):
+                    rider_host[query.name] = host
+                    break
+        used_hosts = {host.name for host in rider_host.values()}
+
+        # Phase 2: instantiate.  A host that riders use is maintained
+        # once, inside the cascade (the rider piggybacks on *that* copy);
+        # every other query gets its individually-planned engine.
+        #: host name -> the cascade engine that maintains it.
+        self._host_cascade: dict[str, CascadeEngine] = {}
+        for query in queries:
+            if query.name in rider_host:
+                host = rider_host[query.name]
+                private = self._snapshot(query, extra=host)
+                cascade = CascadeEngine(query, host, private)
+                self._cascades[query.name] = cascade
+                self._host_cascade.setdefault(host.name, cascade)
+                self.assignments[query.name] = QueryAssignment(
+                    query, "cascade-rider", via=host.name
+                )
+            elif query.name in used_hosts:
+                self.assignments[query.name] = QueryAssignment(
+                    query, "cascade-host"
+                )
+            else:
+                self._direct[query.name] = IVMEngine(
+                    query, self._snapshot(query)
+                )
+                self.assignments[query.name] = QueryAssignment(query, "direct")
+        for query in queries:
+            consumers = self._routes
+            for atom in query.atoms:
+                consumers.setdefault(atom.relation, [])
+                if query.name not in consumers[atom.relation]:
+                    consumers[atom.relation].append(query.name)
+
+    def _snapshot(self, query: Query, extra: Query | None = None) -> Database:
+        """A private database holding copies of the needed relations."""
+        private = Database(ring=self.database.ring)
+        needed = {a.relation for a in query.atoms}
+        if extra is not None:
+            needed |= {a.relation for a in extra.atoms}
+        for name in needed:
+            private.add_relation(self.database[name].copy())
+        return private
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def apply(self, update: Update) -> None:
+        """Route one update to the shared base and every consumer engine."""
+        if update.relation in self.database:
+            self.database[update.relation].add(update.key, update.payload)
+        for query_name in self._routes.get(update.relation, ()):
+            cascade = self._cascades.get(query_name)
+            if cascade is not None:
+                cascade.apply(update)
+            elif query_name in self._direct:
+                self._direct[query_name].apply(update)
+            # cascade-hosts are fed through their rider's cascade above.
+
+    def apply_batch(self, batch) -> None:
+        for update in batch:
+            self.apply(update)
+
+    # ------------------------------------------------------------------
+    # Enumeration
+    # ------------------------------------------------------------------
+
+    def enumerate(self, name: str) -> Iterator[tuple[tuple, Any]]:
+        """Enumerate one workload query's output.
+
+        For a cascade rider this refreshes its host first (condition (ii)
+        of Section 4.2), paying the host enumeration.
+        """
+        if name in self._cascades:
+            return self._cascades[name].enumerate_q1(strict=False)
+        if name in self._host_cascade:
+            return self._host_cascade[name].enumerate_q2()
+        if name in self._direct:
+            return self._direct[name].enumerate()
+        raise KeyError(f"unknown query {name!r}")
+
+    def plan_report(self) -> str:
+        return "\n".join(
+            str(self.assignments[name]) for name in sorted(self.assignments)
+        )

@@ -1,0 +1,6 @@
+"""Unified engine facade and maintenance planner (Section 6)."""
+
+from .engine import IVMEngine
+from .planner import Plan, plan_maintenance
+
+__all__ = ["IVMEngine", "Plan", "plan_maintenance"]

@@ -1,0 +1,150 @@
+"""The unified IVM facade: register a query, feed updates, enumerate.
+
+``IVMEngine`` hides the zoo of specialised engines behind one interface,
+instantiating whichever the planner selects.  It is the public entry
+point a downstream user should reach for first::
+
+    from repro import Database, IVMEngine, parse_query
+
+    db = Database()
+    db.create("R", ["A", "B"])
+    db.create("S", ["B"])
+    engine = IVMEngine(parse_query("Q(A) = R(A, B) * S(B)"), db)
+    engine.insert("R", 1, 2)
+    engine.insert("S", 2)
+    dict(engine.enumerate())   # {(1,): 1}
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from ..constraints.fds import FDEngine, FunctionalDependency
+from ..cqap.engine import CQAPEngine
+from ..data.database import Database
+from ..data.update import Update
+from ..delta.engine import DeltaQueryEngine
+from ..insertonly.engine import InsertOnlyEngine
+from ..ivme.triangle import TriangleCounter
+from ..query.ast import Query
+from ..query.properties import is_q_hierarchical
+from ..query.variable_order import search_order
+from ..rings.lifting import LiftingMap
+from ..staticdyn.engine import StaticDynamicEngine
+from ..viewtree.engine import ViewTreeEngine
+from .planner import Plan, plan_maintenance
+
+
+class IVMEngine:
+    """Plan-and-dispatch facade over the library's maintenance engines."""
+
+    def __init__(
+        self,
+        query: Query,
+        database: Database,
+        fds: tuple[FunctionalDependency, ...] = (),
+        insert_only: bool = False,
+        lifting: LiftingMap | None = None,
+        plan: Plan | None = None,
+    ):
+        self.query = query
+        self.database = database
+        self.plan = plan or plan_maintenance(query, fds, insert_only)
+        strategy = self.plan.strategy
+
+        if strategy == "viewtree" or strategy == "viewtree-hierarchical":
+            # q-hierarchical queries get their canonical (free-top) order;
+            # merely-hierarchical ones need a searched free-top order so
+            # that enumeration works (updates are then rightly costlier —
+            # the Theorem 4.1 lower bound says they must be).
+            order = None
+            if query.head and not is_q_hierarchical(query):
+                order = search_order(query, require_free_top=True)
+            self._engine = ViewTreeEngine(query, database, order, lifting=lifting)
+        elif strategy == "fd-viewtree":
+            self._engine = FDEngine(query, fds, database, lifting=lifting)
+        elif strategy == "static-dynamic":
+            self._engine = StaticDynamicEngine(query, database, lifting=lifting)
+        elif strategy == "cqap":
+            self._engine = CQAPEngine(query, database, lifting=lifting)
+        elif strategy == "insert-only":
+            self._engine = InsertOnlyEngine(query)
+            for atom in query.atoms:
+                for key in database[atom.relation].keys():
+                    self._engine.insert(atom.relation, key)
+        elif strategy == "ivm-eps-triangle":
+            names = tuple(a.relation for a in query.atoms)
+            self._engine = TriangleCounter(
+                epsilon=0.5, relation_names=names, database=database
+            )
+        else:
+            self._engine = DeltaQueryEngine(query, database, lifting, eager=True)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def apply(self, update: Update) -> None:
+        engine = self._engine
+        if isinstance(engine, TriangleCounter):
+            engine.apply(update)
+            self.database[update.relation].add(update.key, update.payload)
+        elif isinstance(engine, InsertOnlyEngine):
+            engine.apply(update)
+            self.database[update.relation].add(update.key, update.payload)
+        elif isinstance(engine, DeltaQueryEngine):
+            engine.update(update)
+        else:
+            engine.apply(update)
+
+    def apply_batch(self, batch) -> None:
+        for update in batch:
+            self.apply(update)
+
+    def insert(self, relation: str, *key, payload: Any = 1) -> None:
+        self.apply(Update(relation, tuple(key), payload))
+
+    def delete(self, relation: str, *key, payload: Any = 1) -> None:
+        ring = self.database.ring
+        self.apply(Update(relation, tuple(key), ring.neg(payload)))
+
+    # ------------------------------------------------------------------
+    # Output access
+    # ------------------------------------------------------------------
+
+    def enumerate(self) -> Iterator[tuple[tuple, Any]]:
+        """Enumerate the output (full enumeration request)."""
+        engine = self._engine
+        if isinstance(engine, TriangleCounter):
+            if engine.count:
+                yield (), engine.count
+            return
+        if isinstance(engine, InsertOnlyEngine):
+            for key in engine.enumerate():
+                yield key, 1
+            return
+        yield from engine.enumerate()
+
+    def answer(self, inputs) -> Iterator[tuple[tuple, Any]]:
+        """CQAP access request (only for plans with input variables)."""
+        if not isinstance(self._engine, CQAPEngine):
+            raise TypeError(
+                f"plan {self.plan.strategy!r} does not support access requests"
+            )
+        return self._engine.answer(inputs)
+
+    def scalar(self) -> Any:
+        """The payload of a Boolean query's output."""
+        engine = self._engine
+        if isinstance(engine, TriangleCounter):
+            return engine.count
+        if isinstance(engine, (ViewTreeEngine, StaticDynamicEngine)):
+            return engine.scalar()
+        if isinstance(engine, DeltaQueryEngine):
+            return engine.scalar()
+        raise TypeError(f"plan {self.plan.strategy!r} has no scalar output")
+
+    @property
+    def backend(self):
+        """The underlying specialised engine (for advanced use)."""
+        return self._engine

@@ -1,0 +1,6 @@
+"""Conjunctive queries with free access patterns (Section 4.3)."""
+
+from .engine import CQAPEngine
+from .fracture import Fracture, fracture, is_tractable_cqap
+
+__all__ = ["CQAPEngine", "Fracture", "fracture", "is_tractable_cqap"]

@@ -1,0 +1,68 @@
+"""Databases: named collections of relations over a common ring."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from ..rings.base import Semiring
+from ..rings.standard import Z
+from .relation import Relation
+from .schema import Schema
+
+
+class Database:
+    """A set of relations over the same ring (Section 2).
+
+    The database size ``len(db)`` is the sum of its relation sizes, i.e.
+    the paper's ``N`` — the quantity all complexity bounds are stated in.
+    """
+
+    def __init__(self, relations: Iterable[Relation] = (), ring: Semiring = Z):
+        self.ring = ring
+        self.relations: dict[str, Relation] = {}
+        for relation in relations:
+            self.add_relation(relation)
+
+    def add_relation(self, relation: Relation) -> Relation:
+        if relation.name in self.relations:
+            raise ValueError(f"relation {relation.name!r} already in database")
+        if relation.ring != self.ring:
+            raise ValueError(
+                f"relation {relation.name!r} uses ring {relation.ring!r}, "
+                f"database uses {self.ring!r}"
+            )
+        self.relations[relation.name] = relation
+        return relation
+
+    def create(self, name: str, schema: Schema | Iterable[str]) -> Relation:
+        """Create and register an empty relation."""
+        return self.add_relation(Relation(name, schema, self.ring))
+
+    def __getitem__(self, name: str) -> Relation:
+        return self.relations[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.relations
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self.relations.values())
+
+    def __len__(self) -> int:
+        """Total number of tuples with non-zero payload across relations."""
+        return sum(len(r) for r in self.relations.values())
+
+    def copy(self) -> "Database":
+        clone = Database(ring=self.ring)
+        for relation in self:
+            clone.add_relation(relation.copy())
+        return clone
+
+    def insert(self, relation: str, *key, payload: Any = None) -> None:
+        self.relations[relation].insert(*key, payload=payload)
+
+    def delete(self, relation: str, *key, payload: Any = None) -> None:
+        self.relations[relation].delete(*key, payload=payload)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{r.name}({len(r)})" for r in self)
+        return f"Database[{parts}]"

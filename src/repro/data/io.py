@@ -1,0 +1,108 @@
+"""Loading and saving relations: CSV/TSV files and literal rows.
+
+A production IVM engine ingests data from somewhere; these helpers read
+delimited files into :class:`~repro.data.relation.Relation` objects (the
+last column optionally being the integer multiplicity) and write them
+back out deterministically.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from ..rings.base import Semiring
+from ..rings.standard import Z
+from .relation import Relation
+from .schema import Schema
+
+
+def load_relation_csv(
+    path: str | Path,
+    name: str,
+    schema: Sequence[str],
+    ring: Semiring = Z,
+    delimiter: str = ",",
+    has_header: bool = False,
+    payload_column: bool = False,
+    converters: Sequence[Callable] | None = None,
+) -> Relation:
+    """Read a delimited file into a relation.
+
+    ``converters`` maps each key column's string to a value (default:
+    ``int`` when the text looks numeric, else the raw string).  With
+    ``payload_column`` the final column holds the tuple's multiplicity.
+    """
+    schema = tuple(schema)
+    if converters is not None and len(converters) != len(schema):
+        raise ValueError(
+            f"{len(converters)} converters for {len(schema)} columns"
+        )
+    relation = Relation(name, Schema(schema), ring)
+    expected = len(schema) + (1 if payload_column else 0)
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        for line_number, row in enumerate(reader, start=1):
+            if has_header and line_number == 1:
+                continue
+            if not row or (len(row) == 1 and not row[0].strip()):
+                continue
+            if len(row) != expected:
+                raise ValueError(
+                    f"{path}:{line_number}: expected {expected} columns, "
+                    f"got {len(row)}"
+                )
+            key_fields = row[: len(schema)]
+            if converters is not None:
+                key = tuple(
+                    convert(field) for convert, field in zip(converters, key_fields)
+                )
+            else:
+                key = tuple(_auto_convert(field) for field in key_fields)
+            payload = int(row[-1]) if payload_column else 1
+            relation.add(key, payload)
+    return relation
+
+
+def _auto_convert(text: str):
+    text = text.strip()
+    try:
+        return int(text)
+    except ValueError:
+        return text
+
+
+def dump_relation_csv(
+    relation: Relation,
+    path: str | Path,
+    delimiter: str = ",",
+    write_header: bool = True,
+    write_payload: bool = True,
+) -> None:
+    """Write a relation out deterministically (sorted by key)."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        if write_header:
+            header = list(relation.schema.variables)
+            if write_payload:
+                header.append("payload")
+            writer.writerow(header)
+        for key in sorted(relation.data, key=repr):
+            row = list(key)
+            if write_payload:
+                row.append(relation.data[key])
+            writer.writerow(row)
+
+
+def relation_from_rows(
+    name: str,
+    schema: Sequence[str],
+    rows: Iterable[Sequence],
+    ring: Semiring = Z,
+) -> Relation:
+    """Build a relation from literal rows (each a key tuple)."""
+    relation = Relation(name, Schema(tuple(schema)), ring)
+    for row in rows:
+        relation.add(tuple(row), ring.one)
+    return relation

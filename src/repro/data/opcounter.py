@@ -1,0 +1,68 @@
+"""Elementary-operation accounting for complexity assertions.
+
+Wall-clock timing in pure Python is too noisy to verify asymptotic claims
+like "single-tuple update in O(N^{1/2})".  Instead, the data structures in
+:mod:`repro.data` report elementary operations (hash lookups, entry writes,
+enumeration steps) to a global :class:`OpCounter`.  Tests enable counting
+around an operation and assert bounds on the counts, which is robust and
+deterministic.
+
+Counting is disabled by default and costs a single attribute check per
+operation when off.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+
+class OpCounter:
+    """Accumulates named operation counts while enabled."""
+
+    __slots__ = ("enabled", "counts")
+
+    def __init__(self):
+        self.enabled = False
+        self.counts: dict[str, int] = {}
+
+    def bump(self, kind: str, amount: int = 1) -> None:
+        """Record ``amount`` operations of ``kind`` (no-op when disabled)."""
+        if self.enabled:
+            self.counts[kind] = self.counts.get(kind, 0) + amount
+
+    def reset(self) -> None:
+        self.counts = {}
+
+    def total(self) -> int:
+        """Total operations across all kinds."""
+        return sum(self.counts.values())
+
+    def __getitem__(self, kind: str) -> int:
+        return self.counts.get(kind, 0)
+
+
+#: The process-wide counter used by the library's data structures.
+COUNTER = OpCounter()
+
+
+@contextmanager
+def counting():
+    """Enable operation counting within the block and yield the counter.
+
+    The counter is reset on entry, so counts observed inside the block
+    belong to the block alone.  Nesting re-uses the same counter.
+    """
+    was_enabled = COUNTER.enabled
+    COUNTER.reset()
+    COUNTER.enabled = True
+    try:
+        yield COUNTER
+    finally:
+        COUNTER.enabled = was_enabled
+
+
+def measure_ops(operation) -> int:
+    """Run a zero-argument callable and return the operations it performed."""
+    with counting() as counter:
+        operation()
+    return counter.total()

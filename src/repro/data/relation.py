@@ -1,0 +1,287 @@
+"""Relations over rings: hash maps with group indexes.
+
+Section 2's data-structure contract, implemented literally:
+
+* a relation is a hash map from key tuples to non-zero ring payloads, with
+  amortized O(1) lookup, insert, and delete, and constant-delay enumeration
+  of its entries;
+* for a subset ``S`` of the schema, a :class:`GroupIndex` enumerates with
+  constant delay all tuples that agree on a given projection onto ``S``,
+  with amortized O(1) index maintenance per relation update.
+
+Entries whose payload becomes zero are removed, so ``len(relation)`` is
+always the number of tuples with non-zero payload.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping
+
+from ..rings.base import Semiring
+from ..rings.standard import Z
+from .opcounter import COUNTER
+from .schema import Schema
+
+
+class GroupIndex:
+    """Secondary index grouping a relation's keys by a schema subset."""
+
+    __slots__ = ("group_vars", "_project", "groups")
+
+    def __init__(self, schema: Schema, group_vars: tuple[str, ...]):
+        self.group_vars = group_vars
+        self._project = schema.projector(group_vars)
+        # group key -> dict used as an insertion-ordered set of full keys
+        self.groups: dict[tuple, dict[tuple, None]] = {}
+
+    def add(self, key: tuple) -> None:
+        group_key = self._project(key)
+        bucket = self.groups.get(group_key)
+        if bucket is None:
+            bucket = {}
+            self.groups[group_key] = bucket
+        bucket[key] = None
+
+    def remove(self, key: tuple) -> None:
+        group_key = self._project(key)
+        bucket = self.groups.get(group_key)
+        if bucket is not None:
+            bucket.pop(key, None)
+            if not bucket:
+                del self.groups[group_key]
+
+    def keys_in_group(self, group_key: tuple) -> Iterator[tuple]:
+        bucket = self.groups.get(group_key)
+        if bucket is not None:
+            yield from bucket
+
+    def group_size(self, group_key: tuple) -> int:
+        bucket = self.groups.get(group_key)
+        return len(bucket) if bucket is not None else 0
+
+    def group_keys(self) -> Iterator[tuple]:
+        """All distinct group keys with at least one member."""
+        return iter(self.groups)
+
+    def __len__(self) -> int:
+        return len(self.groups)
+
+
+class Relation:
+    """A finite map from key tuples to non-zero ring payloads."""
+
+    __slots__ = ("name", "schema", "ring", "data", "_indexes")
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema | Iterable[str],
+        ring: Semiring = Z,
+        data: Mapping[tuple, Any] | None = None,
+    ):
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        self.name = name
+        self.schema = schema
+        self.ring = ring
+        self.data: dict[tuple, Any] = {}
+        self._indexes: dict[tuple[str, ...], GroupIndex] = {}
+        if data:
+            for key, payload in data.items():
+                self.add(key, payload)
+
+    # ------------------------------------------------------------------
+    # Lookups and enumeration
+    # ------------------------------------------------------------------
+
+    def get(self, key: tuple) -> Any:
+        """Payload of ``key``; the ring zero when absent."""
+        COUNTER.bump("lookup")
+        return self.data.get(key, self.ring.zero)
+
+    def __contains__(self, key: tuple) -> bool:
+        COUNTER.bump("lookup")
+        return key in self.data
+
+    def items(self) -> Iterator[tuple[tuple, Any]]:
+        """Enumerate (key, payload) entries with constant delay."""
+        for entry in self.data.items():
+            COUNTER.bump("enum")
+            yield entry
+
+    def keys(self) -> Iterator[tuple]:
+        for key in self.data:
+            COUNTER.bump("enum")
+            yield key
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return self.keys()
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def add(self, key: tuple, payload: Any) -> Any:
+        """Ring-add ``payload`` to the entry at ``key``; return new payload.
+
+        Entries reaching the ring zero are removed, together with their
+        index postings, in amortized constant time.
+        """
+        ring = self.ring
+        if ring.is_zero(payload):
+            return self.data.get(key, ring.zero)
+        COUNTER.bump("write")
+        old = self.data.get(key)
+        if old is None:
+            self.data[key] = payload
+            for index in self._indexes.values():
+                index.add(key)
+            return payload
+        new = ring.add(old, payload)
+        if ring.is_zero(new):
+            del self.data[key]
+            for index in self._indexes.values():
+                index.remove(key)
+            return ring.zero
+        self.data[key] = new
+        return new
+
+    def set(self, key: tuple, payload: Any) -> None:
+        """Overwrite the payload at ``key`` (remove when zero)."""
+        COUNTER.bump("write")
+        present = key in self.data
+        if self.ring.is_zero(payload):
+            if present:
+                del self.data[key]
+                for index in self._indexes.values():
+                    index.remove(key)
+            return
+        self.data[key] = payload
+        if not present:
+            for index in self._indexes.values():
+                index.add(key)
+
+    def insert(self, *key, payload: Any = None) -> None:
+        """Insert one tuple; payload defaults to the ring one."""
+        self.add(tuple(key), self.ring.one if payload is None else payload)
+
+    def delete(self, *key, payload: Any = None) -> None:
+        """Delete one tuple: add the negated payload (requires a ring)."""
+        value = self.ring.one if payload is None else payload
+        self.add(tuple(key), self.ring.neg(value))
+
+    def apply(self, delta: "Relation | Mapping[tuple, Any]") -> None:
+        """Apply a delta relation: ``self := self (+) delta``."""
+        entries = delta.items() if isinstance(delta, Relation) else delta.items()
+        for key, payload in entries:
+            self.add(key, payload)
+
+    def clear(self) -> None:
+        self.data.clear()
+        for index in self._indexes.values():
+            index.groups.clear()
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+
+    def index_on(self, variables: Iterable[str]) -> GroupIndex:
+        """Create (or fetch) the group index on ``variables``.
+
+        Building the index over an existing relation costs O(|relation|);
+        afterwards it is maintained incrementally by :meth:`add`/:meth:`set`.
+        """
+        group_vars = tuple(variables)
+        index = self._indexes.get(group_vars)
+        if index is None:
+            if not self.schema.covers(group_vars):
+                raise KeyError(
+                    f"index variables {group_vars!r} not in schema "
+                    f"{self.schema.variables!r} of relation {self.name!r}"
+                )
+            index = GroupIndex(self.schema, group_vars)
+            for key in self.data:
+                index.add(key)
+            self._indexes[group_vars] = index
+        return index
+
+    def group(self, variables: Iterable[str], group_key: tuple) -> Iterator[tuple]:
+        """Enumerate keys agreeing with ``group_key`` on ``variables``."""
+        index = self.index_on(variables)
+        COUNTER.bump("lookup")
+        for key in index.keys_in_group(group_key):
+            COUNTER.bump("enum")
+            yield key
+
+    def group_size(self, variables: Iterable[str], group_key: tuple) -> int:
+        """Number of keys agreeing with ``group_key`` on ``variables``."""
+        COUNTER.bump("lookup")
+        return self.index_on(variables).group_size(group_key)
+
+    def distinct(self, variables: Iterable[str]) -> Iterator[tuple]:
+        """Enumerate the distinct projections of the keys onto ``variables``."""
+        index = self.index_on(variables)
+        for group_key in index.group_keys():
+            COUNTER.bump("enum")
+            yield group_key
+
+    # ------------------------------------------------------------------
+    # Whole-relation helpers (used by the naive evaluator and tests)
+    # ------------------------------------------------------------------
+
+    def copy(self, name: str | None = None) -> "Relation":
+        clone = Relation(name or self.name, self.schema, self.ring)
+        clone.data = dict(self.data)
+        return clone
+
+    def project_onto(self, variables: Iterable[str], name: str | None = None) -> "Relation":
+        """Sum payloads of keys agreeing on ``variables`` (marginalization
+        with the trivial COUNT lifting on the dropped variables)."""
+        variables = tuple(variables)
+        out = Relation(name or f"pi_{self.name}", Schema(variables), self.ring)
+        project = self.schema.projector(variables)
+        for key, payload in self.data.items():
+            out.add(project(key), payload)
+        return out
+
+    def scale(self, factor: Any, name: str | None = None) -> "Relation":
+        """Multiply every payload by ``factor`` (used for delta weighting)."""
+        out = Relation(name or self.name, self.schema, self.ring)
+        for key, payload in self.data.items():
+            out.add(key, self.ring.mul(payload, factor))
+        return out
+
+    def to_dict(self) -> dict[tuple, Any]:
+        return dict(self.data)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Relation):
+            return (
+                self.schema == other.schema
+                and self.ring == other.ring
+                and self.data == other.data
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:  # relations are mutable; identity hash
+        return id(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"Relation({self.name!r}, schema={self.schema.variables!r}, "
+            f"size={len(self.data)})"
+        )
+
+    def pretty(self, limit: int = 20) -> str:
+        """Small fixed-width rendering, used by examples and docs."""
+        header = " ".join(self.schema.variables) + " | payload"
+        lines = [header, "-" * len(header)]
+        for i, (key, payload) in enumerate(sorted(self.data.items())):
+            if i == limit:
+                lines.append(f"... ({len(self.data) - limit} more)")
+                break
+            lines.append(" ".join(str(v) for v in key) + f" | {payload}")
+        return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""Schemas: ordered tuples of variable names with set-like helpers.
+
+A schema is "a tuple of variables, which we also see as a set" (Section 2).
+:class:`Schema` keeps the tuple order (needed to interpret key tuples) while
+offering the set operations the query machinery needs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class Schema:
+    """An ordered, duplicate-free tuple of variable names."""
+
+    __slots__ = ("variables", "_positions")
+
+    def __init__(self, variables: Iterable[str]):
+        variables = tuple(variables)
+        positions: dict[str, int] = {}
+        for i, var in enumerate(variables):
+            if var in positions:
+                raise ValueError(f"duplicate variable {var!r} in schema {variables!r}")
+            positions[var] = i
+        self.variables = variables
+        self._positions = positions
+
+    @classmethod
+    def of(cls, *variables: str) -> "Schema":
+        """Convenience constructor: ``Schema.of('A', 'B')``."""
+        return cls(variables)
+
+    def position(self, variable: str) -> int:
+        """Index of ``variable`` within key tuples over this schema."""
+        return self._positions[variable]
+
+    def positions(self, variables: Iterable[str]) -> tuple[int, ...]:
+        """Indexes of several variables, in the order given."""
+        return tuple(self._positions[v] for v in variables)
+
+    def project(self, key: tuple, variables: Iterable[str]) -> tuple:
+        """Project a key tuple over this schema onto ``variables``."""
+        return tuple(key[self._positions[v]] for v in variables)
+
+    def projector(self, variables: Iterable[str]):
+        """Return a fast ``key -> projected key`` function.
+
+        Prefer this in loops: it resolves positions once.
+        """
+        positions = self.positions(variables)
+        if positions == tuple(range(len(self.variables))):
+            return lambda key: key
+        return lambda key: tuple(key[i] for i in positions)
+
+    def union(self, other: "Schema") -> "Schema":
+        """Variables of ``self`` followed by the new variables of ``other``."""
+        extra = [v for v in other.variables if v not in self._positions]
+        return Schema(self.variables + tuple(extra))
+
+    def intersect(self, other: "Schema | Iterable[str]") -> "Schema":
+        members = set(other.variables if isinstance(other, Schema) else other)
+        return Schema(v for v in self.variables if v in members)
+
+    def without(self, variables: Iterable[str]) -> "Schema":
+        dropped = set(variables)
+        return Schema(v for v in self.variables if v not in dropped)
+
+    def restrict(self, variables: Iterable[str]) -> "Schema":
+        """Schema over ``variables`` kept in this schema's order."""
+        return self.intersect(variables)
+
+    def covers(self, variables: Iterable[str]) -> bool:
+        return all(v in self._positions for v in variables)
+
+    def __contains__(self, variable: str) -> bool:
+        return variable in self._positions
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.variables)
+
+    def __len__(self) -> int:
+        return len(self.variables)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Schema):
+            return self.variables == other.variables
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.variables)
+
+    def __repr__(self) -> str:
+        return f"Schema{self.variables!r}"
+
+    def as_set(self) -> frozenset[str]:
+        return frozenset(self.variables)
+
+
+EMPTY_SCHEMA = Schema(())

@@ -1,0 +1,92 @@
+"""Updates: single-tuple deltas and commutative update batches.
+
+Updates are tuples mapped to ring values — positive for inserts, negative
+for deletes (Section 2).  A batch of updates can be executed in any order
+with the same cumulative effect; :func:`permuted` exists so tests can check
+exactly that commutativity property.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Sequence
+
+from ..rings.base import Ring, Semiring
+from ..rings.standard import Z
+from .database import Database
+from .relation import Relation
+
+
+@dataclass(frozen=True)
+class Update:
+    """A single-tuple update: ``relation[key] += payload``."""
+
+    relation: str
+    key: tuple
+    payload: Any = 1
+
+    @property
+    def is_insert(self) -> bool:
+        """Heuristic polarity check for numeric payloads (multiplicities)."""
+        try:
+            return self.payload > 0
+        except TypeError:
+            return True
+
+    def inverted(self, ring: Ring) -> "Update":
+        """The update that undoes this one."""
+        return Update(self.relation, self.key, ring.neg(self.payload))
+
+
+def insert(relation: str, *key, payload: Any = 1) -> Update:
+    """Convenience constructor for an insert update."""
+    return Update(relation, tuple(key), payload)
+
+
+def delete(relation: str, *key, payload: Any = 1, ring: Ring = Z) -> Update:
+    """Convenience constructor for a delete update (negated payload)."""
+    return Update(relation, tuple(key), ring.neg(payload))
+
+
+def apply_update(database: Database, update: Update) -> None:
+    """Apply one update to the input database."""
+    database[update.relation].add(update.key, update.payload)
+
+
+def apply_batch(database: Database, batch: Iterable[Update]) -> None:
+    for update in batch:
+        apply_update(database, update)
+
+
+def permuted(batch: Sequence[Update], seed: int = 0) -> list[Update]:
+    """A deterministic random permutation of a batch.
+
+    Batches of updates over a ring commute, so applying ``permuted(batch)``
+    must leave the database — and every maintained view — in the same state
+    as applying ``batch``.  Property-based tests rely on this helper.
+    """
+    shuffled = list(batch)
+    random.Random(seed).shuffle(shuffled)
+    return shuffled
+
+
+def delta_relation(
+    name: str,
+    schema: Iterable[str],
+    entries: Iterable[tuple[tuple, Any]],
+    ring: Semiring = Z,
+) -> Relation:
+    """Build a delta relation from (key, payload) pairs."""
+    delta = Relation(name, schema, ring)
+    for key, payload in entries:
+        delta.add(key, payload)
+    return delta
+
+
+def batches_of(updates: Sequence[Update], batch_size: int) -> Iterator[list[Update]]:
+    """Split an update stream into consecutive batches of ``batch_size``."""
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    for start in range(0, len(updates), batch_size):
+        yield list(updates[start : start + batch_size])

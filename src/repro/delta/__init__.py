@@ -1,0 +1,23 @@
+"""Delta queries: symbolic rules and the first-order IVM engine (§3.1)."""
+
+from .engine import DeltaQueryEngine
+from .expression import (
+    Aggregate,
+    Expression,
+    Join,
+    Leaf,
+    Union,
+    aggregate_all,
+    from_query,
+)
+
+__all__ = [
+    "Aggregate",
+    "DeltaQueryEngine",
+    "Expression",
+    "Join",
+    "Leaf",
+    "Union",
+    "aggregate_all",
+    "from_query",
+]

@@ -1,0 +1,248 @@
+"""Symbolic view expressions and the delta rules (1)-(3) of Section 3.1.
+
+A view expression is built from relation leaves with union, join, and
+aggregation operators.  ``delta(expr, relation)`` applies the paper's
+rewrite rules::
+
+    (1)  d(V1 (+) V2)  =  dV1 (+) dV2
+    (2)  d(V1 . V2)    =  (dV1 . V2) (+) (V1 . dV2) (+) (dV1 . dV2)
+    (3)  d(SUM_X V)    =  SUM_X dV
+
+Leaves over relations other than the updated one have empty deltas, and
+the simplifier prunes joins with an empty-delta factor (``V . {} = {}``)
+and unions with empty members, reproducing the derivation of Example 3.1.
+
+Expressions can also be *evaluated* against a database plus a delta
+binding, which is how tests check that the symbolic derivation and the
+operational engines agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional
+
+from ..data.database import Database
+from ..data.relation import Relation
+from ..data.schema import Schema
+from ..rings.lifting import LiftingMap
+
+
+class Expression:
+    """Base class for view expressions."""
+
+    def schema(self) -> tuple[str, ...]:
+        raise NotImplementedError
+
+    def delta(self, relation: str) -> Optional["Expression"]:
+        """The delta expression w.r.t. an update to ``relation``.
+
+        Returns ``None`` for the empty delta (the expression does not
+        depend on the updated relation).
+        """
+        raise NotImplementedError
+
+    def evaluate(
+        self,
+        database: Database,
+        deltas: Mapping[str, Relation] | None = None,
+        lifting: LiftingMap | None = None,
+    ) -> Relation:
+        raise NotImplementedError
+
+    # Operator sugar mirroring the paper's notation.
+    def __mul__(self, other: "Expression") -> "Join":
+        return Join(self, other)
+
+    def __add__(self, other: "Expression") -> "Union":
+        return Union(self, other)
+
+
+@dataclass(frozen=True)
+class Leaf(Expression):
+    """A relation occurrence ``R(S)``; ``is_delta`` marks ``dR(S)``."""
+
+    relation: str
+    variables: tuple[str, ...]
+    is_delta: bool = False
+
+    def schema(self) -> tuple[str, ...]:
+        return self.variables
+
+    def delta(self, relation: str) -> Optional[Expression]:
+        if self.is_delta:
+            return None  # deltas are constants w.r.t. further updates
+        if self.relation != relation:
+            return None
+        return Leaf(self.relation, self.variables, is_delta=True)
+
+    def evaluate(self, database, deltas=None, lifting=None) -> Relation:
+        if self.is_delta:
+            if not deltas or self.relation not in deltas:
+                raise ValueError(f"no delta bound for relation {self.relation!r}")
+            source = deltas[self.relation]
+        else:
+            source = database[self.relation]
+        if len(self.variables) != len(source.schema):
+            raise ValueError(
+                f"leaf {self} arity mismatch with relation schema "
+                f"{source.schema.variables!r}"
+            )
+        out = Relation(str(self), Schema(self.variables), database.ring)
+        for key, payload in source.items():
+            out.add(key, payload)
+        return out
+
+    def __str__(self) -> str:
+        prefix = "d" if self.is_delta else ""
+        return f"{prefix}{self.relation}({', '.join(self.variables)})"
+
+
+@dataclass(frozen=True)
+class Join(Expression):
+    left: Expression
+    right: Expression
+
+    def schema(self) -> tuple[str, ...]:
+        left = self.left.schema()
+        extra = tuple(v for v in self.right.schema() if v not in left)
+        return left + extra
+
+    def delta(self, relation: str) -> Optional[Expression]:
+        dl = self.left.delta(relation)
+        dr = self.right.delta(relation)
+        terms = []
+        if dl is not None:
+            terms.append(Join(dl, self.right))
+        if dr is not None:
+            terms.append(Join(self.left, dr))
+        if dl is not None and dr is not None:
+            terms.append(Join(dl, dr))
+        if not terms:
+            return None
+        result = terms[0]
+        for term in terms[1:]:
+            result = Union(result, term)
+        return result
+
+    def evaluate(self, database, deltas=None, lifting=None) -> Relation:
+        left = self.left.evaluate(database, deltas, lifting)
+        right = self.right.evaluate(database, deltas, lifting)
+        ring = database.ring
+        out_schema = Schema(self.schema())
+        out = Relation(str(self), out_schema, ring)
+        # Hash join on the shared variables, smaller side probing.
+        probe, build = (left, right) if len(left) <= len(right) else (right, left)
+        build_shared = tuple(v for v in build.schema if v in probe.schema)
+        probe_project = probe.schema.projector(build_shared)
+        for probe_key, probe_payload in probe.items():
+            group_key = probe_project(probe_key)
+            for build_key in build.group(build_shared, group_key):
+                payload = ring.mul(probe_payload, build.get(build_key))
+                if ring.is_zero(payload):
+                    continue
+                merged = _merge(probe, probe_key, build, build_key, out_schema)
+                out.add(merged, payload)
+        return out
+
+    def __str__(self) -> str:
+        return f"({self.left} . {self.right})"
+
+
+def _merge(
+    rel_a: Relation, key_a: tuple, rel_b: Relation, key_b: tuple, out_schema: Schema
+) -> tuple:
+    values: dict[str, Any] = {}
+    for var, value in zip(rel_a.schema.variables, key_a):
+        values[var] = value
+    for var, value in zip(rel_b.schema.variables, key_b):
+        values[var] = value
+    return tuple(values[v] for v in out_schema.variables)
+
+
+@dataclass(frozen=True)
+class Union(Expression):
+    left: Expression
+    right: Expression
+
+    def schema(self) -> tuple[str, ...]:
+        left = self.left.schema()
+        if set(left) != set(self.right.schema()):
+            raise ValueError("union of expressions with different schemas")
+        return left
+
+    def delta(self, relation: str) -> Optional[Expression]:
+        dl = self.left.delta(relation)
+        dr = self.right.delta(relation)
+        if dl is None:
+            return dr
+        if dr is None:
+            return dl
+        return Union(dl, dr)
+
+    def evaluate(self, database, deltas=None, lifting=None) -> Relation:
+        left = self.left.evaluate(database, deltas, lifting)
+        right = self.right.evaluate(database, deltas, lifting)
+        out = Relation(str(self), left.schema, database.ring)
+        for key, payload in left.items():
+            out.add(key, payload)
+        project = right.schema.projector(left.schema.variables)
+        for key, payload in right.items():
+            out.add(project(key), payload)
+        return out
+
+    def __str__(self) -> str:
+        return f"({self.left} (+) {self.right})"
+
+
+@dataclass(frozen=True)
+class Aggregate(Expression):
+    """``SUM_X child``: marginalize one variable with its lifting."""
+
+    variable: str
+    child: Expression
+
+    def schema(self) -> tuple[str, ...]:
+        return tuple(v for v in self.child.schema() if v != self.variable)
+
+    def delta(self, relation: str) -> Optional[Expression]:
+        inner = self.child.delta(relation)
+        if inner is None:
+            return None
+        return Aggregate(self.variable, inner)
+
+    def evaluate(self, database, deltas=None, lifting=None) -> Relation:
+        child = self.child.evaluate(database, deltas, lifting)
+        ring = database.ring
+        if lifting is None:
+            lifting = LiftingMap(ring)
+        lift = lifting.for_variable(self.variable)
+        out_vars = self.schema()
+        out = Relation(str(self), Schema(out_vars), ring)
+        position = child.schema.position(self.variable)
+        project = child.schema.projector(out_vars)
+        for key, payload in child.items():
+            weighted = ring.mul(payload, lift(key[position]))
+            out.add(project(key), weighted)
+        return out
+
+    def __str__(self) -> str:
+        return f"SUM_{self.variable} {self.child}"
+
+
+def aggregate_all(variables, child: Expression) -> Expression:
+    """Nest ``Aggregate`` over several variables."""
+    expr = child
+    for variable in variables:
+        expr = Aggregate(variable, expr)
+    return expr
+
+
+def from_query(query) -> Expression:
+    """Build the expression ``SUM_bound  R_1 . R_2 . ... . R_n``."""
+    leaves = [Leaf(a.relation, a.variables) for a in query.atoms]
+    body: Expression = leaves[0]
+    for leaf in leaves[1:]:
+        body = Join(body, leaf)
+    bound = [v for v in sorted(query.variables()) if v not in query.free_variables]
+    return aggregate_all(bound, body)

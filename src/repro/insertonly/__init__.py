@@ -1,0 +1,5 @@
+"""Insert-only maintenance (Section 4.6)."""
+
+from .engine import InsertOnlyEngine
+
+__all__ = ["InsertOnlyEngine"]

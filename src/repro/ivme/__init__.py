@@ -1,0 +1,7 @@
+"""IVM^epsilon: heavy/light partitioned adaptive maintenance (§3.3, §5)."""
+
+from .hierarchical import TradeoffEngine
+from .partition import PartitionedRelation
+from .triangle import TriangleCounter
+
+__all__ = ["PartitionedRelation", "TradeoffEngine", "TriangleCounter"]

@@ -1,0 +1,165 @@
+"""IVM^epsilon for the simplest non-q-hierarchical query (Example 5.1).
+
+Maintains ``Q(A) = SUM_B R(A,B) * S(B)`` with the trade-off of Fig. 7:
+
+* preprocessing  O(N),
+* single-tuple update  O(N^eps),
+* enumeration delay  O(N^(1-eps)).
+
+``eps = 1`` is the eager extreme (materialize the output, O(N) updates on
+skewed B-values, O(1) delay); ``eps = 0`` is the lazy extreme (store the
+inputs, O(1) updates, O(N) delay).  At ``eps = 1/2`` the point
+(1, 1/2, 1/2) touches the OMv-conjecture lower-bound cuboid, making the
+strategy weakly Pareto worst-case optimal.
+
+Mechanics: R is partitioned by the degree of B.  The *light* part is
+maintained eagerly into ``Q_L(A) = SUM_B R_L(A,B) * S(B)``; an update to
+``S(b)`` with light ``b`` touches < N^eps tuples of R_L.  The *heavy*
+part stays unmaterialized: enumeration combines, per A-value,
+``Q_L(a) + SUM_{heavy b} R_H(a,b) * S(b)`` — at most ``N^(1-eps)`` heavy
+B-values exist, bounding the delay.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from ..data.database import Database
+from ..data.relation import Relation
+from ..data.update import Update
+from ..rings.standard import Z
+from .partition import PartitionedRelation
+
+
+class TradeoffEngine:
+    """IVM^epsilon maintenance of ``Q(A) = SUM_B R(A,B) * S(B)``."""
+
+    def __init__(
+        self,
+        epsilon: float = 0.5,
+        relation_names: tuple[str, str] = ("R", "S"),
+        database: Database | None = None,
+    ):
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError("epsilon must lie in [0, 1]")
+        self.epsilon = epsilon
+        self.names = relation_names
+        self.R = PartitionedRelation("R", ("A", "B"), "B", threshold=1.0)
+        self.S = Relation("S", ("B",), Z)
+        #: Eagerly maintained light aggregate Q_L(A) = SUM_B R_L(A,B) S(B).
+        self.Q_light = Relation("Q_L", ("A",), Z)
+        #: Distinct A-values of R with their tuple counts (candidate index).
+        self._a_counts: dict[Any, int] = {}
+        self._size_at_rebalance = 0
+        self.R.add_listener(self._on_migrate)
+
+        if database is not None:
+            name_r, name_s = relation_names
+            for key, payload in database[name_r].items():
+                self.apply(Update(name_r, key, payload))
+            for key, payload in database[name_s].items():
+                self.apply(Update(name_s, key, payload))
+            self.rebalance()
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def size(self) -> int:
+        return len(self.R) + len(self.S)
+
+    def apply_batch(self, batch) -> None:
+        for update in batch:
+            self.apply(update)
+
+    def apply(self, update: Update) -> None:
+        name_r, name_s = self.names
+        if update.relation == name_r:
+            self._update_r(update.key, update.payload)
+        elif update.relation == name_s:
+            self._update_s(update.key, update.payload)
+        else:
+            raise KeyError(f"unknown relation {update.relation!r}")
+        self._maybe_rebalance()
+
+    def _update_r(self, key: tuple, payload: int) -> None:
+        a, b = key
+        if not self.R.is_heavy(b):
+            # Eager: one lookup into S.
+            s_value = self.S.get((b,))
+            if s_value:
+                self.Q_light.add((a,), payload * s_value)
+        had = (a, b) in self.R.light.data or (a, b) in self.R.heavy.data
+        self.R.add(key, payload)
+        has = (a, b) in self.R.light.data or (a, b) in self.R.heavy.data
+        if has and not had:
+            self._a_counts[a] = self._a_counts.get(a, 0) + 1
+        elif had and not has:
+            remaining = self._a_counts.get(a, 0) - 1
+            if remaining:
+                self._a_counts[a] = remaining
+            else:
+                self._a_counts.pop(a, None)
+
+    def _update_s(self, key: tuple, payload: int) -> None:
+        (b,) = key
+        if not self.R.is_heavy(b):
+            # Light b: touch its < N^eps partners in R_L.
+            for r_key in self.R.light.group(("B",), (b,)):
+                self.Q_light.add((r_key[0],), self.R.light.get(r_key) * payload)
+        self.S.add(key, payload)
+
+    def _on_migrate(self, value: Any, moved, became_heavy: bool) -> None:
+        """Partition migration: move contributions in/out of Q_light."""
+        sign = -1 if became_heavy else 1
+        s_value = self.S.get((value,))
+        if not s_value:
+            return
+        for key, payload in moved:
+            self.Q_light.add((key[0],), sign * payload * s_value)
+
+    # ------------------------------------------------------------------
+    # Rebalancing
+    # ------------------------------------------------------------------
+
+    def _maybe_rebalance(self) -> None:
+        size = self.size()
+        reference = max(self._size_at_rebalance, 1)
+        if size >= 2 * reference or 2 * size <= reference:
+            self.rebalance()
+
+    def rebalance(self) -> None:
+        size = max(self.size(), 1)
+        self.R.repartition(threshold=max(1.0, size**self.epsilon))
+        self._size_at_rebalance = size
+
+    # ------------------------------------------------------------------
+    # Enumeration
+    # ------------------------------------------------------------------
+
+    def payload_of(self, a: Any) -> int:
+        """``Q(a)``: the eager light part plus the on-demand heavy part."""
+        total = self.Q_light.get((a,))
+        for r_key in self.R.heavy.group(("A",), (a,)):
+            s_value = self.S.get((r_key[1],))
+            if s_value:
+                total += self.R.heavy.get(r_key) * s_value
+        return total
+
+    def enumerate(self) -> Iterator[tuple[tuple, int]]:
+        """Enumerate (a, Q(a)) with delay O(N^(1-eps)) per candidate.
+
+        Candidates are the distinct A-values of R; per candidate the heavy
+        side costs one lookup per heavy B-value paired with it — at most
+        the number of heavy B-values overall, i.e. O(N^(1-eps)).
+        """
+        for a in list(self._a_counts):
+            payload = self.payload_of(a)
+            if payload:
+                yield (a,), payload
+
+    def result(self) -> Relation:
+        out = Relation("Q", ("A",), Z)
+        for key, payload in self.enumerate():
+            out.add(key, payload)
+        return out

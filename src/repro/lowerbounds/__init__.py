@@ -1,0 +1,5 @@
+"""Lower-bound machinery: OuMv and the Theorem 3.4 reduction (§3.4)."""
+
+from .oumv import OuMvInstance, paper_example_instance, solve_oumv_via_ivm
+
+__all__ = ["OuMvInstance", "paper_example_instance", "solve_oumv_via_ivm"]

@@ -1,0 +1,156 @@
+"""The OuMv problem and its reduction to IVM triangle detection (§3.4).
+
+The Online Vector-Matrix-Vector multiplication problem (Definition 3.3):
+given a Boolean n x n matrix M and an online sequence of n vector pairs
+(u_r, v_r), output ``u_r^T M v_r`` after seeing each pair.  The OuMv
+conjecture states no algorithm solves it in O(n^(3-gamma)) total time.
+
+Theorem 3.4's reduction turns a fast triangle-detection IVM algorithm
+into a fast OuMv algorithm: encode M into S once, then per round encode
+u_r into R and v_r into T with O(n) updates and read off the Boolean
+query value.  This module implements
+
+* :class:`OuMvInstance` — generation and a naive O(n^3) solver;
+* :func:`solve_oumv_via_ivm` — the reduction of Theorem 3.4, driving any
+  triangle-count maintenance engine (the IVM^epsilon counter by default).
+
+The benchmark compares the reduction (with the O(sqrt(N)) = O(n) update
+counter) against the naive per-round O(n^2) recomputation, exhibiting the
+sub-cubic vs cubic separation on which the lower bound rests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Protocol, Sequence
+
+from ..data.update import Update
+from ..ivme.triangle import TriangleCounter
+
+
+@dataclass
+class OuMvInstance:
+    """One OuMv instance: matrix M and the online pair sequence."""
+
+    n: int
+    matrix: list[list[bool]]
+    pairs: list[tuple[list[bool], list[bool]]]
+
+    @classmethod
+    def random(
+        cls,
+        n: int,
+        density: float = 0.3,
+        seed: int = 0,
+        rounds: int | None = None,
+        vector_density: float | None = None,
+    ) -> "OuMvInstance":
+        """A random instance; ``vector_density`` defaults to ``density``.
+
+        Hard instances for the naive solver pair sparse matrices (mostly
+        negative answers, no early exit) with dense vectors (full scans).
+        """
+        rng = random.Random(seed)
+        if vector_density is None:
+            vector_density = density
+        matrix = [[rng.random() < density for _ in range(n)] for _ in range(n)]
+        pairs = []
+        for _ in range(rounds if rounds is not None else n):
+            u = [rng.random() < vector_density for _ in range(n)]
+            v = [rng.random() < vector_density for _ in range(n)]
+            pairs.append((u, v))
+        return cls(n, matrix, pairs)
+
+    def solve_naive(self) -> list[bool]:
+        """Per round, compute u^T M v directly: O(n^2) per round, O(n^3)
+        total — the baseline the conjecture says cannot be beaten by a
+        polynomial factor."""
+        answers = []
+        for u, v in self.pairs:
+            hit = False
+            for i in range(self.n):
+                if not u[i]:
+                    continue
+                row = self.matrix[i]
+                for j in range(self.n):
+                    if row[j] and v[j]:
+                        hit = True
+                        break
+                if hit:
+                    break
+            answers.append(hit)
+        return answers
+
+
+class TriangleMaintainer(Protocol):
+    """Anything that maintains the triangle count under updates."""
+
+    def apply(self, update: Update) -> None: ...
+
+    def detect(self) -> bool: ...
+
+
+def solve_oumv_via_ivm(
+    instance: OuMvInstance,
+    make_engine: Callable[[], TriangleMaintainer] | None = None,
+) -> list[bool]:
+    """Algorithm B of Theorem 3.4: solve OuMv with a triangle-IVM engine.
+
+    Construction: ``S(i, j) = M[i, j]``; per round ``r``,
+    ``R(a, i) = u_r[i]`` and ``T(j, a) = v_r[j]`` for one constant ``a``.
+    Then ``u_r^T M v_r`` equals the Boolean triangle query.  Each round
+    performs at most 4n updates; with an engine whose update time is
+    O(N^(1/2)) = O(n), total time is O(n^3) in this pure-Python setting
+    but O(n^(3 - 2*gamma)) for any O(N^(1/2 - gamma)) engine — the
+    contradiction the conjecture forbids.
+    """
+    if make_engine is None:
+        make_engine = lambda: TriangleCounter(epsilon=0.5)
+    engine = make_engine()
+    anchor = "a"
+
+    # Step 1: encode the matrix into S (at most n^2 inserts).
+    for i in range(instance.n):
+        row = instance.matrix[i]
+        for j in range(instance.n):
+            if row[j]:
+                engine.apply(Update("S", (i, j), 1))
+
+    answers = []
+    previous_u: list[bool] = [False] * instance.n
+    previous_v: list[bool] = [False] * instance.n
+    for u, v in instance.pairs:
+        # Steps 2a/2b: delete the old vectors, insert the new ones (at
+        # most 4n updates; we only touch changed positions).
+        for i in range(instance.n):
+            if previous_u[i] and not u[i]:
+                engine.apply(Update("R", (anchor, i), -1))
+            elif u[i] and not previous_u[i]:
+                engine.apply(Update("R", (anchor, i), 1))
+        for j in range(instance.n):
+            if previous_v[j] and not v[j]:
+                engine.apply(Update("T", (j, anchor), -1))
+            elif v[j] and not previous_v[j]:
+                engine.apply(Update("T", (j, anchor), 1))
+        previous_u, previous_v = list(u), list(v)
+        # Step 2c: one detection request.
+        answers.append(engine.detect())
+    return answers
+
+
+def paper_example_instance() -> tuple[OuMvInstance, bool]:
+    """The worked 3x3 example from Section 3.4 (single round).
+
+    u = (0,1,0), M = [[0,1,0],[1,0,0],[0,0,1]], v = (1,0,0); the answer
+    is True, witnessed by R(a,2), S(2,1), T(1,a).
+    """
+    matrix = [
+        [False, True, False],
+        [True, False, False],
+        [False, False, True],
+    ]
+    u = [False, True, False]
+    v = [True, False, False]
+    instance = OuMvInstance(3, matrix, [(u, v)])
+    return instance, True

@@ -1,0 +1,5 @@
+"""Full-recompute evaluation (the non-incremental baseline)."""
+
+from .evaluator import evaluate, evaluate_scalar
+
+__all__ = ["evaluate", "evaluate_scalar"]

@@ -1,0 +1,62 @@
+"""Queries: joins with group-by aggregates, classifiers, variable orders."""
+
+from .analysis import OrderAnalysis, UpdateCostBound, analyse_order, update_cost_bounds
+from .ast import Atom, Query, query
+from .hypergraph import (
+    JoinTreeNode,
+    build_join_tree,
+    gyo_reduce,
+    is_alpha_acyclic,
+    is_free_connex,
+)
+from .parser import QueryParseError, parse_query
+from .properties import (
+    dominates,
+    is_free_dominant,
+    is_hierarchical,
+    is_input_dominant,
+    is_q_hierarchical,
+    witness_non_hierarchical,
+)
+from .rewriting import find_embedding, rewrite_using
+from .variable_order import (
+    InvalidVariableOrder,
+    VariableOrder,
+    VarOrderNode,
+    canonical_order,
+    order_for,
+    search_order,
+    validate_order,
+)
+
+__all__ = [
+    "Atom",
+    "OrderAnalysis",
+    "InvalidVariableOrder",
+    "JoinTreeNode",
+    "Query",
+    "UpdateCostBound",
+    "QueryParseError",
+    "VarOrderNode",
+    "VariableOrder",
+    "build_join_tree",
+    "analyse_order",
+    "canonical_order",
+    "dominates",
+    "find_embedding",
+    "gyo_reduce",
+    "is_alpha_acyclic",
+    "is_free_connex",
+    "is_free_dominant",
+    "is_hierarchical",
+    "is_input_dominant",
+    "is_q_hierarchical",
+    "order_for",
+    "parse_query",
+    "query",
+    "rewrite_using",
+    "search_order",
+    "update_cost_bounds",
+    "validate_order",
+    "witness_non_hierarchical",
+]

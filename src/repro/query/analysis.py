@@ -1,0 +1,121 @@
+"""Static cost analysis of variable orders.
+
+Given a variable order, predict — before touching any data — the shape of
+the single-tuple update cost per relation and whether factorized
+enumeration will have constant delay.  This is the analysis behind the
+Section 4.5 classifier, generalised and exposed: the planner and the CLI
+use it to annotate plans with *per-relation* guarantees instead of one
+global bound.
+
+The rule (see :mod:`repro.staticdyn.analysis` for its use in the mixed
+static/dynamic setting): propagating a single-tuple delta from an atom's
+anchor to the root costs O(1) iff at every node on the path, each sibling
+source's schema is already bound by the delta; the first unbound sibling
+group the delta must expand is the (data-dependent) growth point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .ast import Atom, Query
+from .variable_order import VariableOrder, VarOrderNode
+
+
+@dataclass(frozen=True)
+class UpdateCostBound:
+    """The statically-derived bound for one atom's single-tuple updates."""
+
+    atom: Atom
+    constant: bool
+    #: The first sibling schema the delta cannot cover (None if constant).
+    blocking_variables: Optional[tuple[str, ...]] = None
+
+    @property
+    def bound(self) -> str:
+        return "O(1)" if self.constant else "O(N) worst-case"
+
+    def __str__(self) -> str:
+        suffix = ""
+        if not self.constant and self.blocking_variables:
+            suffix = f" (unbound sibling over {', '.join(self.blocking_variables)})"
+        return f"{self.atom}: {self.bound}{suffix}"
+
+
+def update_cost_bounds(order: VariableOrder) -> list[UpdateCostBound]:
+    """Analyse every atom's anchor-to-root propagation path."""
+    parent: dict[str, Optional[VarOrderNode]] = {}
+    for root in order.roots:
+        stack: list[tuple[VarOrderNode, Optional[VarOrderNode]]] = [(root, None)]
+        while stack:
+            node, par = stack.pop()
+            parent[node.variable] = par
+            for child in node.children:
+                stack.append((child, node))
+
+    results = []
+    for atom in order.query.atoms:
+        anchor = order.anchor_of(atom)
+        bound_vars = set(atom.variables)
+        node: Optional[VarOrderNode] = anchor
+        came_from: Optional[VarOrderNode] = None
+        blocking: Optional[tuple[str, ...]] = None
+        while node is not None and blocking is None:
+            for sibling in node.atoms:
+                if node is anchor and sibling is atom:
+                    continue
+                if not set(sibling.variables) <= bound_vars:
+                    blocking = sibling.variables
+                    break
+            if blocking is None:
+                for child in node.children:
+                    if child is came_from:
+                        continue
+                    if not set(child.dependency) <= bound_vars:
+                        blocking = child.dependency
+                        break
+            bound_vars = set(node.dependency)
+            came_from = node
+            node = parent[node.variable]
+        results.append(
+            UpdateCostBound(atom, constant=blocking is None, blocking_variables=blocking)
+        )
+    return results
+
+
+@dataclass(frozen=True)
+class OrderAnalysis:
+    """Full static report for a (query, variable order) pair."""
+
+    order: VariableOrder
+    costs: tuple[UpdateCostBound, ...]
+    free_top: bool
+    max_dependency: int
+
+    @property
+    def all_updates_constant(self) -> bool:
+        return all(c.constant for c in self.costs)
+
+    @property
+    def constant_delay(self) -> bool:
+        return self.free_top
+
+    def render(self) -> str:
+        lines = [
+            f"variable order (max |dep| = {self.max_dependency}, "
+            f"{'free-top' if self.free_top else 'not free-top'}):",
+        ]
+        lines.extend("  " + line for line in self.order.render().splitlines())
+        lines.append("per-relation single-tuple update bounds:")
+        lines.extend(f"  {cost}" for cost in self.costs)
+        return "\n".join(lines)
+
+
+def analyse_order(order: VariableOrder) -> OrderAnalysis:
+    return OrderAnalysis(
+        order,
+        tuple(update_cost_bounds(order)),
+        order.is_free_top(),
+        order.max_dependency_size(),
+    )

@@ -1,0 +1,141 @@
+"""Query hypergraphs: GYO reduction, alpha-acyclicity, join trees,
+free-connexity.
+
+These static-setting notions underpin several results the paper builds on:
+q-hierarchical queries are a strict subclass of the free-connex
+alpha-acyclic queries (Section 4.1), and the insert-only results of
+Section 4.6 hold for all alpha-acyclic joins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from .ast import Atom, Query
+
+
+def gyo_reduce(edges: list[frozenset[str]]) -> list[frozenset[str]]:
+    """Run the GYO reduction and return the remaining hyperedges.
+
+    Repeatedly (1) removes *ear* vertices that occur in a single edge and
+    (2) removes edges contained in another edge.  The input is
+    alpha-acyclic iff the residue is empty.
+    """
+    edges = [e for e in edges if e]
+    changed = True
+    while changed and edges:
+        changed = False
+        # Remove vertices occurring in exactly one edge.
+        occurrence: dict[str, int] = {}
+        for edge in edges:
+            for vertex in edge:
+                occurrence[vertex] = occurrence.get(vertex, 0) + 1
+        reduced = []
+        for edge in edges:
+            trimmed = frozenset(v for v in edge if occurrence[v] > 1)
+            if trimmed != edge:
+                changed = True
+            if trimmed:
+                reduced.append(trimmed)
+            else:
+                changed = True
+        edges = reduced
+        # Remove edges contained in other edges.
+        survivors: list[frozenset[str]] = []
+        for i, edge in enumerate(edges):
+            contained = any(
+                edge <= other and (edge != other or i > j)
+                for j, other in enumerate(edges)
+                if j != i
+            )
+            if contained:
+                changed = True
+            else:
+                survivors.append(edge)
+        edges = survivors
+    return edges
+
+
+def is_alpha_acyclic(query: Query) -> bool:
+    """True iff the query's hypergraph is alpha-acyclic (GYO test)."""
+    return not gyo_reduce([a.variable_set() for a in query.atoms])
+
+
+def is_free_connex(query: Query) -> bool:
+    """True iff the query is free-connex alpha-acyclic.
+
+    A query is free-connex when it is alpha-acyclic and stays alpha-acyclic
+    after adding a fresh atom whose variables are exactly the free ones.
+    """
+    if not is_alpha_acyclic(query):
+        return False
+    edges = [a.variable_set() for a in query.atoms]
+    if query.head:
+        edges.append(frozenset(query.head))
+    return not gyo_reduce(edges)
+
+
+@dataclass
+class JoinTreeNode:
+    """A node of a join tree: one atom plus children."""
+
+    atom: Atom
+    children: list["JoinTreeNode"] = field(default_factory=list)
+
+    def walk(self):
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        return f"JoinTreeNode({self.atom}, children={len(self.children)})"
+
+
+def build_join_tree(query: Query) -> Optional[list[JoinTreeNode]]:
+    """Build a join forest (one tree per connected component).
+
+    Returns ``None`` when the query is not alpha-acyclic.  The join tree
+    satisfies the running-intersection property: for every variable, the
+    atoms containing it form a connected subtree.  It drives the
+    insert-only maintenance of Section 4.6.
+    """
+    if not is_alpha_acyclic(query):
+        return None
+    roots: list[JoinTreeNode] = []
+    for component in query.connected_components():
+        atoms = list(component.atoms)
+        nodes = {atom: JoinTreeNode(atom) for atom in atoms}
+        # Ear-removal order: repeatedly find an ear atom and attach it to a
+        # witness atom that covers its shared variables.
+        remaining = list(atoms)
+        parent: dict[Atom, Atom] = {}
+        while len(remaining) > 1:
+            ear, witness = _find_ear(remaining)
+            parent[ear] = witness
+            remaining.remove(ear)
+        root_atom = remaining[0]
+        for child_atom, parent_atom in parent.items():
+            nodes[parent_atom].children.append(nodes[child_atom])
+        roots.append(nodes[root_atom])
+    return roots
+
+
+def _find_ear(atoms: list[Atom]) -> tuple[Atom, Atom]:
+    """Find an (ear, witness) pair among ``atoms``.
+
+    An atom ``E`` is an ear with witness ``W`` when every variable of ``E``
+    that also occurs in some other atom occurs in ``W``.  Existence is
+    guaranteed for alpha-acyclic inputs.
+    """
+    for candidate in atoms:
+        others = [a for a in atoms if a is not candidate]
+        shared = {
+            v
+            for v in candidate.variables
+            if any(v in other.variables for other in others)
+        }
+        for witness in others:
+            if shared <= set(witness.variables):
+                return candidate, witness
+    raise ValueError("no ear found; query is not alpha-acyclic")

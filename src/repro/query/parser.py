@@ -1,0 +1,71 @@
+"""A small textual syntax for queries.
+
+Examples::
+
+    Q(A, B) = R(A, X) * S(X, B)          # free variables A, B
+    Q() = R(A, B) * S(B, C) * T(C, A)    # Boolean (triangle) query
+    Q(C | A, B) = E(A, B) * E(B, C)      # CQAP: C output, A and B input
+    Q(. | A, B, C) = E(A, B) * E(B, C)   # CQAP with no output variables
+    Q(A, B) = R(A) * S@s(A, B) * T(B)    # S is static (Section 4.5)
+
+Commas and ``*`` both separate atoms; whitespace is free.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .ast import Atom, Query
+
+_HEAD_RE = re.compile(r"^\s*(\w+)\s*\(([^)]*)\)\s*=\s*(.+)$", re.S)
+_ATOM_RE = re.compile(r"(\w+)(@s)?\s*\(([^)]*)\)")
+
+
+class QueryParseError(ValueError):
+    """Raised on malformed query text."""
+
+
+def _split_variables(text: str) -> tuple[str, ...]:
+    text = text.strip()
+    if not text or text == ".":
+        return ()
+    parts = [p.strip() for p in text.split(",")]
+    if any(not p for p in parts):
+        raise QueryParseError(f"empty variable in list {text!r}")
+    for part in parts:
+        if not re.fullmatch(r"\w+", part):
+            raise QueryParseError(f"invalid variable name {part!r}")
+    return tuple(parts)
+
+
+def parse_query(text: str) -> Query:
+    """Parse the textual syntax above into a :class:`Query`."""
+    match = _HEAD_RE.match(text)
+    if not match:
+        raise QueryParseError(f"cannot parse query head in {text!r}")
+    name, head_text, body_text = match.groups()
+
+    if "|" in head_text:
+        output_text, input_text = head_text.split("|", 1)
+        outputs = _split_variables(output_text)
+        inputs = _split_variables(input_text)
+        head = outputs + inputs
+    else:
+        head = _split_variables(head_text)
+        inputs = ()
+
+    atoms = []
+    consumed = 0
+    for atom_match in _ATOM_RE.finditer(body_text):
+        relation, static_marker, vars_text = atom_match.groups()
+        variables = _split_variables(vars_text)
+        atoms.append(Atom(relation, variables, static=bool(static_marker)))
+        consumed += 1
+    if not atoms:
+        raise QueryParseError(f"no atoms found in body {body_text!r}")
+
+    leftovers = _ATOM_RE.sub("", body_text)
+    if re.sub(r"[\s,*]", "", leftovers):
+        raise QueryParseError(f"unparsed body fragment in {body_text!r}")
+
+    return Query(name, head, tuple(atoms), inputs)

@@ -1,0 +1,90 @@
+"""Syntactic query classes: hierarchical, q-hierarchical, dominance.
+
+Definitions 4.2 and 4.7 of the paper.  These checks run in time polynomial
+in the query size and drive the dichotomies of Theorems 4.1 and 4.8.
+"""
+
+from __future__ import annotations
+
+from .ast import Query
+
+
+def is_hierarchical(query: Query) -> bool:
+    """Definition 4.2: for any two variables X, Y the atom sets are
+    comparable (one contains the other) or disjoint."""
+    variables = sorted(query.variables())
+    atom_sets = {v: query.atoms_of(v) for v in variables}
+    for i, x in enumerate(variables):
+        for y in variables[i + 1 :]:
+            ax, ay = atom_sets[x], atom_sets[y]
+            if not (ax <= ay or ay <= ax or not (ax & ay)):
+                return False
+    return True
+
+
+def is_q_hierarchical(query: Query) -> bool:
+    """Definition 4.2: hierarchical, and whenever ``atoms(X) ⊃ atoms(Y)``
+    with Y free, X is free too.
+
+    Queries in this class — and only these, among self-join-free CQs —
+    admit O(N) preprocessing, O(1) single-tuple updates, and O(1)
+    enumeration delay (Theorem 4.1).
+    """
+    if not is_hierarchical(query):
+        return False
+    variables = sorted(query.variables())
+    atom_sets = {v: query.atoms_of(v) for v in variables}
+    free = query.free_variables
+    for x in variables:
+        for y in variables:
+            if atom_sets[x] > atom_sets[y] and y in free and x not in free:
+                return False
+    return True
+
+
+def dominates(query: Query, dominator: str, dominated: str) -> bool:
+    """Definition 4.7: ``dominator`` dominates ``dominated`` iff
+    ``atoms(dominated) ⊂ atoms(dominator)`` (strict)."""
+    return query.atoms_of(dominated) < query.atoms_of(dominator)
+
+
+def is_free_dominant(query: Query) -> bool:
+    """If A is free and B dominates A, then B is free (Definition 4.7).
+
+    For queries without input variables, hierarchical + free-dominant is
+    exactly q-hierarchical (footnote 4 of the paper).
+    """
+    free = query.free_variables
+    variables = query.variables()
+    for a in free:
+        for b in variables:
+            if dominates(query, b, a) and b not in free:
+                return False
+    return True
+
+
+def is_input_dominant(query: Query) -> bool:
+    """If A is input and B dominates A, then B is input (Definition 4.7)."""
+    inputs = set(query.input_variables)
+    variables = query.variables()
+    for a in inputs:
+        for b in variables:
+            if dominates(query, b, a) and b not in inputs:
+                return False
+    return True
+
+
+def witness_non_hierarchical(query: Query) -> tuple[str, str] | None:
+    """A pair of variables violating the hierarchical condition, if any.
+
+    Useful in error messages and in the FD-rewriting machinery, which
+    targets exactly these violations.
+    """
+    variables = sorted(query.variables())
+    atom_sets = {v: query.atoms_of(v) for v in variables}
+    for i, x in enumerate(variables):
+        for y in variables[i + 1 :]:
+            ax, ay = atom_sets[x], atom_sets[y]
+            if not (ax <= ay or ay <= ax or not (ax & ay)):
+                return (x, y)
+    return None

@@ -1,0 +1,109 @@
+"""Query rewriting using other queries' outputs (Section 4.2).
+
+To piggyback the maintenance of a non-q-hierarchical query ``Q1`` on a
+q-hierarchical query ``Q2``, we need a *q-hierarchical rewriting* of
+``Q1`` over ``Q2``: a homomorphism embeds ``Q2``'s body into ``Q1``'s
+body, and the matched atoms are replaced by a single view atom over
+``Q2``'s output.  Example 4.5 rewrites::
+
+    Q1(A,B,C,D) = R(A,B) * S(B,C) * T(C,D)
+    Q2(A,B,C)   = R(A,B) * S(B,C)
+    ==> Q1'(A,B,C,D) = Q2(A,B,C) * T(C,D)
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Optional
+
+from .ast import Atom, Query
+
+
+def find_embedding(pattern: Query, target: Query) -> Optional[dict[str, str]]:
+    """An injective homomorphism from ``pattern``'s body into ``target``'s.
+
+    Maps each atom ``R(S)`` of the pattern to a distinct atom ``R(h(S))``
+    of the target.  Returns the variable mapping, or ``None``.
+    """
+
+    def extend(
+        mapping: dict[str, str], used: set[int], remaining: list[Atom]
+    ) -> Optional[dict[str, str]]:
+        if not remaining:
+            return mapping
+        atom = remaining[0]
+        for candidate in target.atoms:
+            if candidate.relation != atom.relation or id(candidate) in used:
+                continue
+            if len(candidate.variables) != len(atom.variables):
+                continue
+            attempt = dict(mapping)
+            taken = set(attempt.values())
+            ok = True
+            for src, dst in zip(atom.variables, candidate.variables):
+                bound = attempt.get(src)
+                if bound is None:
+                    if dst in taken:  # keep the mapping injective
+                        ok = False
+                        break
+                    attempt[src] = dst
+                    taken.add(dst)
+                elif bound != dst:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            result = extend(attempt, used | {id(candidate)}, remaining[1:])
+            if result is not None:
+                return result
+        return None
+
+    return extend({}, set(), list(pattern.atoms))
+
+
+def rewrite_using(target: Query, view: Query, name: str | None = None) -> Optional[Query]:
+    """Rewrite ``target`` to use ``view``'s output as a single atom.
+
+    Returns the rewriting, or ``None`` when no *sound* rewriting exists.
+    Soundness requires that every variable of the matched atoms that is
+    visible outside them — in the remaining atoms or in ``target``'s head —
+    is exported by ``view``'s head (otherwise the join or the projection
+    would be lost).
+    """
+    mapping = find_embedding(view, target)
+    if mapping is None:
+        return None
+
+    matched: list[Atom] = []
+    used: set[int] = set()
+    # Re-run the match to recover which target atoms were consumed.
+    for atom in view.atoms:
+        image_vars = tuple(mapping[v] for v in atom.variables)
+        for candidate in target.atoms:
+            if (
+                id(candidate) not in used
+                and candidate.relation == atom.relation
+                and candidate.variables == image_vars
+            ):
+                matched.append(candidate)
+                used.add(id(candidate))
+                break
+        else:
+            return None
+
+    remaining = [a for a in target.atoms if id(a) not in used]
+    matched_vars = {v for a in matched for v in a.variables}
+    outside_vars = set(target.head)
+    for atom in remaining:
+        outside_vars.update(atom.variables)
+    exported = {mapping[v] for v in view.head}
+    if (matched_vars & outside_vars) - exported:
+        return None
+
+    view_atom = Atom(view.name, tuple(mapping[v] for v in view.head))
+    return Query(
+        name or f"{target.name}_via_{view.name}",
+        target.head,
+        (view_atom, *remaining),
+        target.input_variables,
+    )

@@ -1,0 +1,72 @@
+"""Lifting functions: maps from variable domains into ring payloads.
+
+Section 2 of the paper: when marginalizing a variable ``X`` we do not sum
+the values ``x`` from ``Dom(X)`` but the lifted values ``g_X(x)`` from the
+payload ring.  The choice of lifting function determines the aggregate:
+
+* ``count_lifting``   — ``g_X(x) = 1``: plain COUNT / projection.
+* ``identity_lifting``— ``g_X(x) = x``: SUM(X) over a numeric ring.
+* ``moment_lifting``  — lifts into the covariance ring, enabling
+  in-database linear regression (Section 6, F-IVM analytics).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from .base import Semiring
+
+#: A lifting function maps a variable value to a ring element.
+Lifting = Callable[[Any], Any]
+
+
+def count_lifting(ring: Semiring) -> Lifting:
+    """Lift every value to ``1``; marginalization then counts tuples."""
+    one = ring.one
+    return lambda _value: one
+
+
+def identity_lifting(_ring: Semiring) -> Lifting:
+    """Lift a numeric value to itself; marginalization then sums values."""
+    return lambda value: value
+
+
+class LiftingMap:
+    """Per-variable lifting functions with a shared default.
+
+    The aggregation operator consults this map when it marginalizes a bound
+    variable.  Variables without an explicit entry use the default lifting
+    (COUNT semantics), which makes plain conjunctive queries work without
+    any configuration.
+    """
+
+    def __init__(
+        self,
+        ring: Semiring,
+        per_variable: Mapping[str, Lifting] | None = None,
+        default: Lifting | None = None,
+    ):
+        self.ring = ring
+        self._per_variable = dict(per_variable or {})
+        self._default = default if default is not None else count_lifting(ring)
+
+    def for_variable(self, variable: str) -> Lifting:
+        """Return the lifting function used when marginalizing ``variable``."""
+        return self._per_variable.get(variable, self._default)
+
+    def with_variable(self, variable: str, lifting: Lifting) -> "LiftingMap":
+        """Return a copy with ``variable`` lifted by ``lifting``."""
+        merged = dict(self._per_variable)
+        merged[variable] = lifting
+        return LiftingMap(self.ring, merged, self._default)
+
+    def is_trivial(self, variable: str) -> bool:
+        """True when marginalizing ``variable`` just multiplies by one."""
+        return variable not in self._per_variable and self._default_is_count()
+
+    def _default_is_count(self) -> bool:
+        probe = object()
+        try:
+            return self._default(probe) == self.ring.one
+        except Exception:  # custom default liftings may reject arbitrary values
+            return False

@@ -1,0 +1,139 @@
+"""Provenance polynomials: the semiring of Green, Karvounarakis & Tannen.
+
+The paper's data model "follows prior work on K-relations over provenance
+semirings [13]" (Section 2).  This module provides that canonical
+instance: payloads are multivariate polynomials over tuple identifiers
+with natural-number coefficients.  The payload of an output tuple then
+*is* its provenance: each monomial is one derivation (which input tuples
+joined, and how often that derivation arises).
+
+Being a semiring without additive inverses, provenance supports the
+insert-only setting (Section 4.6) and static evaluation; deletions would
+require one of the richer structures (e.g. Z[X]) — use ``ring=Z`` and
+track provenance separately if you need both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from .base import Semiring
+
+#: A monomial maps tuple identifiers to exponents.
+Monomial = frozenset  # of (identifier, exponent) pairs
+
+
+def _monomial(items: Mapping[str, int]) -> Monomial:
+    return frozenset((k, v) for k, v in items.items() if v)
+
+
+@dataclass(frozen=True)
+class Polynomial:
+    """A provenance polynomial: monomials with positive coefficients."""
+
+    terms: frozenset = frozenset()  # of (Monomial, coefficient) pairs
+
+    @classmethod
+    def variable(cls, identifier: str) -> "Polynomial":
+        """The polynomial consisting of the single variable ``identifier``."""
+        return cls(frozenset({(_monomial({identifier: 1}), 1)}))
+
+    @classmethod
+    def constant(cls, value: int) -> "Polynomial":
+        if value < 0:
+            raise ValueError("provenance coefficients are natural numbers")
+        if value == 0:
+            return cls()
+        return cls(frozenset({(_monomial({}), value)}))
+
+    def as_dict(self) -> dict[Monomial, int]:
+        return dict(self.terms)
+
+    def monomials(self) -> list[dict[str, int]]:
+        """Each derivation as {tuple id: multiplicity-in-derivation}."""
+        return [dict(monomial) for monomial, _ in sorted(self.terms, key=repr)]
+
+    def coefficient(self, identifiers: Mapping[str, int]) -> int:
+        """Coefficient of the monomial with the given exponents."""
+        return self.as_dict().get(_monomial(identifiers), 0)
+
+    def variables(self) -> frozenset[str]:
+        result = set()
+        for monomial, _ in self.terms:
+            for identifier, _exponent in monomial:
+                result.add(identifier)
+        return frozenset(result)
+
+    def degree(self) -> int:
+        """Largest total degree among monomials (join width witness)."""
+        best = 0
+        for monomial, _ in self.terms:
+            best = max(best, sum(exp for _, exp in monomial))
+        return best
+
+    def evaluate(self, assignment: Mapping[str, int]) -> int:
+        """Evaluate the polynomial — e.g. with multiplicities to recover
+        counts, or with 0/1 to test derivability after hypothetical
+        deletions (the classic provenance trick)."""
+        total = 0
+        for monomial, coefficient in self.terms:
+            product = coefficient
+            for identifier, exponent in monomial:
+                product *= assignment.get(identifier, 0) ** exponent
+            total += product
+        return total
+
+    def __str__(self) -> str:
+        if not self.terms:
+            return "0"
+        parts = []
+        for monomial, coefficient in sorted(self.terms, key=repr):
+            factors = [
+                identifier if exponent == 1 else f"{identifier}^{exponent}"
+                for identifier, exponent in sorted(monomial)
+            ]
+            body = "*".join(factors) if factors else "1"
+            parts.append(body if coefficient == 1 else f"{coefficient}*{body}")
+        return " + ".join(parts)
+
+
+class ProvenanceSemiring(Semiring):
+    """N[X]: the free (most general) provenance semiring."""
+
+    name = "N[X]"
+
+    @property
+    def zero(self) -> Polynomial:
+        return Polynomial()
+
+    @property
+    def one(self) -> Polynomial:
+        return Polynomial.constant(1)
+
+    def add(self, a: Polynomial, b: Polynomial) -> Polynomial:
+        terms = a.as_dict()
+        for monomial, coefficient in b.terms:
+            terms[monomial] = terms.get(monomial, 0) + coefficient
+        return Polynomial(
+            frozenset((m, c) for m, c in terms.items() if c)
+        )
+
+    def mul(self, a: Polynomial, b: Polynomial) -> Polynomial:
+        terms: dict[Monomial, int] = {}
+        for mono_a, coeff_a in a.terms:
+            exp_a = dict(mono_a)
+            for mono_b, coeff_b in b.terms:
+                merged = dict(exp_a)
+                for identifier, exponent in mono_b:
+                    merged[identifier] = merged.get(identifier, 0) + exponent
+                key = _monomial(merged)
+                terms[key] = terms.get(key, 0) + coeff_a * coeff_b
+        return Polynomial(frozenset((m, c) for m, c in terms.items() if c))
+
+    def is_zero(self, a: Polynomial) -> bool:
+        return not a.terms
+
+
+#: Shared singleton.
+PROVENANCE = ProvenanceSemiring()

@@ -1,0 +1,18 @@
+"""Static versus dynamic relations (Section 4.5)."""
+
+from .analysis import (
+    constant_update_atoms,
+    enumerate_orders,
+    find_static_dynamic_order,
+    is_static_dynamic_tractable,
+)
+from .engine import StaticDynamicEngine, StaticRelationUpdateError
+
+__all__ = [
+    "StaticDynamicEngine",
+    "StaticRelationUpdateError",
+    "constant_update_atoms",
+    "enumerate_orders",
+    "find_static_dynamic_order",
+    "is_static_dynamic_tractable",
+]

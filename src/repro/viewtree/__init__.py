@@ -1,0 +1,24 @@
+"""View trees: higher-order factorized IVM (Sections 3.2 and 4.1)."""
+
+from .engine import ViewNode, ViewTreeEngine
+from .strategies import (
+    STRATEGIES,
+    EagerFact,
+    EagerList,
+    LazyFact,
+    LazyList,
+    MaintenanceStrategy,
+    make_strategy,
+)
+
+__all__ = [
+    "EagerFact",
+    "EagerList",
+    "LazyFact",
+    "LazyList",
+    "MaintenanceStrategy",
+    "STRATEGIES",
+    "ViewNode",
+    "ViewTreeEngine",
+    "make_strategy",
+]

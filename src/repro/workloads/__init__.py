@@ -1,0 +1,45 @@
+"""Workload generators for the paper's experiments."""
+
+from .graphs import (
+    TRIANGLE_RELATIONS,
+    random_edges,
+    sliding_window_stream,
+    triangle_insert_stream,
+    triangle_updates_for_edge,
+    zipf_edges,
+)
+from .imdb_job import job_star_counter, valid_delete_batch, valid_insert_batch
+from .retailer import (
+    retailer_database,
+    retailer_fd_database,
+    retailer_fd_query,
+    retailer_query,
+    retailer_update_stream,
+)
+from .synthetic import FDImpact, WorkloadQuery, fd_impact, random_workload
+from .tpch import ClassificationStudy, TPCHQuery, classify_tpch, tpch_queries
+
+__all__ = [
+    "ClassificationStudy",
+    "FDImpact",
+    "TPCHQuery",
+    "TRIANGLE_RELATIONS",
+    "WorkloadQuery",
+    "classify_tpch",
+    "fd_impact",
+    "job_star_counter",
+    "random_edges",
+    "random_workload",
+    "retailer_database",
+    "retailer_fd_database",
+    "retailer_fd_query",
+    "retailer_query",
+    "retailer_update_stream",
+    "sliding_window_stream",
+    "tpch_queries",
+    "triangle_insert_stream",
+    "triangle_updates_for_edge",
+    "valid_delete_batch",
+    "valid_insert_batch",
+    "zipf_edges",
+]

@@ -1,0 +1,105 @@
+"""Graph update streams for the triangle workloads (Sections 3.3, 3.4).
+
+The triangle query joins three binary relations R(A,B), S(B,C), T(C,A).
+Feeding the same edge set into all three counts the directed triangles of
+one graph.  Besides uniform random graphs the module generates *skewed*
+(Zipf-like) graphs — the regime where heavy/light partitioning pays off —
+and sliding-window streams mixing inserts with deletes of the oldest
+edges.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from ..data.update import Update
+
+TRIANGLE_RELATIONS = ("R", "S", "T")
+
+
+def triangle_updates_for_edge(edge: tuple, payload: int = 1) -> list[Update]:
+    """One graph edge as updates to all three triangle relations."""
+    return [Update(name, edge, payload) for name in TRIANGLE_RELATIONS]
+
+
+def random_edges(
+    nodes: int, edges: int, seed: int = 0, allow_loops: bool = False
+) -> list[tuple[int, int]]:
+    """``edges`` distinct uniform random directed edges."""
+    rng = random.Random(seed)
+    seen: set[tuple[int, int]] = set()
+    result: list[tuple[int, int]] = []
+    while len(result) < edges:
+        edge = (rng.randrange(nodes), rng.randrange(nodes))
+        if not allow_loops and edge[0] == edge[1]:
+            continue
+        if edge in seen:
+            continue
+        seen.add(edge)
+        result.append(edge)
+    return result
+
+
+def zipf_edges(
+    nodes: int, edges: int, skew: float = 1.2, seed: int = 0
+) -> list[tuple[int, int]]:
+    """Distinct edges whose endpoints follow a Zipf-like distribution.
+
+    Low node ids act as hubs; with ``skew`` around 1 or above, a few
+    values reach degree Omega(N^(1/2)) and the heavy/light distinction of
+    Section 3.3 becomes material.
+    """
+    rng = random.Random(seed)
+    weights = [1.0 / (rank + 1) ** skew for rank in range(nodes)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight / total
+        cumulative.append(acc)
+
+    def draw() -> int:
+        roll = rng.random()
+        lo, hi = 0, nodes - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] < roll:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    seen: set[tuple[int, int]] = set()
+    result: list[tuple[int, int]] = []
+    attempts = 0
+    while len(result) < edges and attempts < 100 * edges:
+        attempts += 1
+        edge = (draw(), draw())
+        if edge[0] == edge[1] or edge in seen:
+            continue
+        seen.add(edge)
+        result.append(edge)
+    return result
+
+
+def triangle_insert_stream(
+    edge_list: list[tuple[int, int]]
+) -> Iterator[Update]:
+    """Insert stream feeding each edge into R, S, and T."""
+    for edge in edge_list:
+        yield from triangle_updates_for_edge(edge, 1)
+
+
+def sliding_window_stream(
+    edge_list: list[tuple[int, int]], window: int
+) -> Iterator[Update]:
+    """Insert each edge; once the window fills, delete the oldest one.
+
+    A standard insert-delete workload: the maintained count tracks the
+    triangles among the ``window`` most recent edges.
+    """
+    for index, edge in enumerate(edge_list):
+        yield from triangle_updates_for_edge(edge, 1)
+        if index >= window:
+            yield from triangle_updates_for_edge(edge_list[index - window], -1)

@@ -1,0 +1,85 @@
+"""IMDB/JOB-like PK-FK workload (Example 4.13).
+
+The JOB benchmark's simplified IMDB schema joins
+``Title(movie_id, ...)``, ``Movie_Companies(movie_id, company_id, ...)``
+and ``Company_Name(company_id, ...)``, where the fact relation's two
+foreign keys reference the dimensions' primary keys.  The real IMDB dump
+is not shipped here; the generator produces the same shape — and, more
+importantly for Example 4.13, *valid* update batches that may be executed
+out of order, leaving the database transiently inconsistent.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..constraints.pkfk import Dimension, StarJoinCounter
+from ..data.update import Update
+
+
+def job_star_counter() -> StarJoinCounter:
+    """The Example 4.13 star join as a :class:`StarJoinCounter`."""
+    return StarJoinCounter(
+        "Movie_Companies",
+        ("movie_id", "company_id", "note"),
+        [
+            Dimension("Title", "movie_id"),
+            Dimension("Company_Name", "company_id"),
+        ],
+    )
+
+
+def valid_insert_batch(
+    movies: int,
+    companies: int,
+    facts: int,
+    seed: int = 0,
+    out_of_order: bool = True,
+) -> list[Update]:
+    """A valid batch of inserts: the final database is consistent.
+
+    With ``out_of_order`` the facts may precede the dimension tuples they
+    reference — the transient inconsistency Example 4.13 analyses, where
+    the one expensive dimension insert amortizes against the fact inserts
+    that preceded it.
+    """
+    rng = random.Random(seed)
+    updates: list[Update] = [
+        Update("Title", (m, f"title_{m}"), 1) for m in range(movies)
+    ]
+    updates.extend(
+        Update("Company_Name", (c, f"country_{c % 7}"), 1)
+        for c in range(companies)
+    )
+    updates.extend(
+        Update(
+            "Movie_Companies",
+            (rng.randrange(movies), rng.randrange(companies), i % 4),
+            1,
+        )
+        for i in range(facts)
+    )
+    if out_of_order:
+        rng.shuffle(updates)
+    return updates
+
+
+def valid_delete_batch(counter: StarJoinCounter, seed: int = 0) -> list[Update]:
+    """A valid batch deleting everything currently in the counter.
+
+    Deleting a dimension key while facts still reference it is allowed
+    mid-batch; by the end all references are gone, restoring consistency
+    (the empty database).
+    """
+    rng = random.Random(seed)
+    updates: list[Update] = []
+    for key, payload in list(counter.fact.items()):
+        updates.append(Update(counter.fact_name, key, -payload))
+    for dimension in counter.dimensions:
+        aggregates = counter.dim_aggregates[dimension.name]
+        for key, payload in list(aggregates.items()):
+            # Reconstruct a dimension tuple: key value plus a dummy attr;
+            # only the key (and payload) matters to the counter.
+            updates.append(Update(dimension.name, (key[0], None), -payload))
+    rng.shuffle(updates)
+    return updates

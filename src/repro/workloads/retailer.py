@@ -1,0 +1,193 @@
+"""Synthetic Retailer workload (the Fig. 4 experiment's dataset shape).
+
+The paper's Fig. 4 measures four IVM strategies on a q-hierarchical
+five-relation join over a real-world Retailer dataset (used by F-IVM).
+That dataset is not public, so this module generates a synthetic database
+with the same *shape*: five relations sharing a location key, a
+date/location fact table with controlled fan-outs, and an insert stream
+delivered in batches of single-tuple updates.
+
+Two query variants are provided:
+
+* :func:`retailer_query` — q-hierarchical as-is (drives Fig. 4);
+* :func:`retailer_fd_query` — Example 4.10's variant that is *not*
+  hierarchical until the FD ``zip -> locn`` is taken into account.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..constraints.fds import FunctionalDependency
+from ..data.database import Database
+from ..data.update import Update
+from ..query.ast import Query, query
+
+
+def retailer_query() -> Query:
+    """The q-hierarchical five-relation Retailer join.
+
+    ``Q(locn, dateid, ksn) = Inventory(locn, dateid, ksn, units)
+    * Weather(locn, dateid, temp) * Location(locn, zip)
+    * Census(locn, population) * Demographics(locn, income)``
+
+    atoms(locn) ⊇ atoms(dateid) ⊇ atoms(ksn) and the remaining variables
+    are bound leaves, so the query is q-hierarchical and — per
+    Theorem 4.1 — supports O(1) updates and O(1) enumeration delay.
+    """
+    return query(
+        "Retailer",
+        ["locn", "dateid", "ksn"],
+        ("Inventory", "locn", "dateid", "ksn", "units"),
+        ("Weather", "locn", "dateid", "temp"),
+        ("Location", "locn", "zip"),
+        ("Census", "locn", "population"),
+        ("Demographics", "locn", "income"),
+    )
+
+
+def retailer_fd_query() -> tuple[Query, tuple[FunctionalDependency, ...]]:
+    """Example 4.10: non-hierarchical until the FD ``zip -> locn`` holds.
+
+    ``Q(locn, dateid, ksn, zip) = Inventory(locn, dateid, ksn)
+    * Location(locn, zip) * Census(zip, population)
+    * Weather(locn, dateid)``
+
+    ``atoms(zip)`` and ``atoms(locn)`` overlap without containment; the
+    Sigma-reduct under ``zip -> locn`` extends Census with ``locn`` and
+    becomes q-hierarchical.
+    """
+    q = query(
+        "RetailerFD",
+        ["locn", "dateid", "ksn", "zip"],
+        ("Inventory", "locn", "dateid", "ksn"),
+        ("Location", "locn", "zip"),
+        ("Census", "zip", "population"),
+        ("Weather", "locn", "dateid"),
+    )
+    return q, (FunctionalDependency(("zip",), "locn"),)
+
+
+def retailer_database(
+    locations: int = 50,
+    dates: int = 40,
+    items: int = 120,
+    inventory_rows: int = 2000,
+    seed: int = 0,
+) -> Database:
+    """A populated Retailer database for :func:`retailer_query`."""
+    rng = random.Random(seed)
+    db = Database()
+    inventory = db.create(
+        "Inventory", ("locn", "dateid", "ksn", "units")
+    )
+    weather = db.create("Weather", ("locn", "dateid", "temp"))
+    location = db.create("Location", ("locn", "zip"))
+    census = db.create("Census", ("locn", "population"))
+    demographics = db.create("Demographics", ("locn", "income"))
+
+    for locn in range(locations):
+        location.insert(locn, 10_000 + locn // 3)
+        census.insert(locn, rng.randrange(1_000, 100_000))
+        demographics.insert(locn, rng.randrange(20_000, 120_000))
+        for dateid in range(dates):
+            if rng.random() < 0.8:
+                weather.insert(locn, dateid, rng.randrange(-10, 35))
+    for _ in range(inventory_rows):
+        inventory.insert(
+            rng.randrange(locations),
+            rng.randrange(dates),
+            rng.randrange(items),
+            rng.randrange(1, 50),
+        )
+    return db
+
+
+def retailer_update_stream(
+    count: int,
+    locations: int = 50,
+    dates: int = 40,
+    items: int = 120,
+    seed: int = 1,
+    delete_fraction: float = 0.0,
+) -> list[Update]:
+    """An update stream shaped like Fig. 4's: batches of single-tuple
+    inserts, dominated by Inventory, with optional deletes.
+
+    Deletes re-target previously inserted keys so that multiplicities
+    stay non-negative.
+    """
+    rng = random.Random(seed)
+    updates: list[Update] = []
+    inserted: list[Update] = []
+    for _ in range(count):
+        if inserted and rng.random() < delete_fraction:
+            victim = inserted[rng.randrange(len(inserted))]
+            updates.append(Update(victim.relation, victim.key, -victim.payload))
+            continue
+        roll = rng.random()
+        if roll < 0.80:
+            update = Update(
+                "Inventory",
+                (
+                    rng.randrange(locations),
+                    rng.randrange(dates),
+                    rng.randrange(items),
+                    rng.randrange(1, 50),
+                ),
+                1,
+            )
+        elif roll < 0.90:
+            update = Update(
+                "Weather",
+                (rng.randrange(locations), rng.randrange(dates), rng.randrange(-10, 35)),
+                1,
+            )
+        elif roll < 0.95:
+            update = Update(
+                "Census", (rng.randrange(locations), rng.randrange(1_000, 100_000)), 1
+            )
+        else:
+            update = Update(
+                "Demographics",
+                (rng.randrange(locations), rng.randrange(20_000, 120_000)),
+                1,
+            )
+        updates.append(update)
+        inserted.append(update)
+    return updates
+
+
+def retailer_fd_database(
+    locations: int = 40,
+    zips: int = 15,
+    dates: int = 30,
+    items: int = 80,
+    inventory_rows: int = 1500,
+    seed: int = 0,
+) -> Database:
+    """Data for :func:`retailer_fd_query`, satisfying ``zip -> locn``.
+
+    Each zip code maps to exactly one location (the FD); a location can
+    own several zips.
+    """
+    rng = random.Random(seed)
+    db = Database()
+    inventory = db.create("Inventory", ("locn", "dateid", "ksn"))
+    location = db.create("Location", ("locn", "zip"))
+    census = db.create("Census", ("zip", "population"))
+    weather = db.create("Weather", ("locn", "dateid"))
+
+    zip_to_locn = {z: rng.randrange(locations) for z in range(zips)}
+    for z, locn in zip_to_locn.items():
+        location.insert(locn, z)
+        census.insert(z, rng.randrange(1_000, 100_000))
+    for locn in range(locations):
+        for dateid in range(dates):
+            if rng.random() < 0.7:
+                weather.insert(locn, dateid)
+    for _ in range(inventory_rows):
+        inventory.insert(
+            rng.randrange(locations), rng.randrange(dates), rng.randrange(items)
+        )
+    return db

@@ -1,0 +1,342 @@
+"""TPC-H query skeletons for the Section 4.4 classification study.
+
+The paper cites a study of the 22 TPC-H queries: eight Boolean and 13
+non-Boolean versions are hierarchical, and functional dependencies from
+the TPC-H keys turn four more of each into hierarchical queries.  The
+TPC-H dataset itself is irrelevant to that study — only the queries' join
+structures, free variables, and key FDs matter — so this module encodes
+skeletonised versions of all 22 queries: natural-join bodies over the
+TPC-H join keys plus representative group-by attributes, with the FDs
+each query's relations imply.
+
+Simplifications (documented per DESIGN.md): nested/anti-join subqueries
+are dropped, keeping the outer join structure; self-joins (nation pairs
+in Q7/Q8) use distinct relation symbols, as Theorem 4.1 requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..constraints.fds import FunctionalDependency, sigma_reduct
+from ..query.ast import Query, query
+from ..query.properties import is_hierarchical, is_q_hierarchical
+
+
+def _fd(*text: str) -> tuple[FunctionalDependency, ...]:
+    return tuple(FunctionalDependency.parse(t) for t in text)
+
+
+@dataclass(frozen=True)
+class TPCHQuery:
+    """One skeletonised TPC-H query with its applicable key FDs."""
+
+    name: str
+    query: Query
+    fds: tuple[FunctionalDependency, ...]
+
+    @property
+    def boolean(self) -> Query:
+        return self.query.boolean_version()
+
+
+def tpch_queries() -> list[TPCHQuery]:
+    """All 22 skeletons, in query order."""
+    q = query
+    return [
+        # Q1: pricing summary — single scan of lineitem.
+        TPCHQuery(
+            "Q1",
+            q("Q1", ["rf", "ls"], ("L", "ok", "pk", "sk", "rf", "ls")),
+            (),
+        ),
+        # Q2: minimum cost supplier.
+        TPCHQuery(
+            "Q2",
+            q(
+                "Q2",
+                ["sk", "pk"],
+                ("P", "pk", "mfgr"),
+                ("PS", "pk", "sk", "cost"),
+                ("S", "sk", "nk"),
+                ("N", "nk", "rk"),
+                ("R", "rk"),
+            ),
+            _fd("sk -> nk", "nk -> rk"),
+        ),
+        # Q3: shipping priority.
+        TPCHQuery(
+            "Q3",
+            q(
+                "Q3",
+                ["ok", "odate"],
+                ("C", "ck", "seg"),
+                ("O", "ok", "ck", "odate"),
+                ("L", "ok", "pk", "sk"),
+            ),
+            _fd("ok -> ck", "ok -> odate"),
+        ),
+        # Q4: order priority checking.
+        TPCHQuery(
+            "Q4",
+            q(
+                "Q4",
+                ["opri"],
+                ("O", "ok", "ck", "opri"),
+                ("L", "ok", "pk", "sk"),
+            ),
+            _fd("ok -> ck", "ok -> opri"),
+        ),
+        # Q5: local supplier volume (customer and supplier share a nation).
+        TPCHQuery(
+            "Q5",
+            q(
+                "Q5",
+                ["nk"],
+                ("C", "ck", "nk"),
+                ("O", "ok", "ck"),
+                ("L", "ok", "pk", "sk"),
+                ("S", "sk", "nk"),
+                ("N", "nk", "rk"),
+                ("R", "rk"),
+            ),
+            _fd("ok -> ck", "ck -> nk", "sk -> nk", "nk -> rk"),
+        ),
+        # Q6: forecasting revenue change — single scan.
+        TPCHQuery("Q6", q("Q6", [], ("L", "ok", "pk", "sk")), ()),
+        # Q7: volume shipping between two nations.
+        TPCHQuery(
+            "Q7",
+            q(
+                "Q7",
+                ["nk1", "nk2"],
+                ("S", "sk", "nk1"),
+                ("L", "ok", "pk", "sk"),
+                ("O", "ok", "ck"),
+                ("C", "ck", "nk2"),
+                ("N1", "nk1"),
+                ("N2", "nk2"),
+            ),
+            _fd("sk -> nk1", "ok -> ck", "ck -> nk2"),
+        ),
+        # Q8: national market share.
+        TPCHQuery(
+            "Q8",
+            q(
+                "Q8",
+                ["nk2"],
+                ("R", "rk"),
+                ("N1", "nk1", "rk"),
+                ("C", "ck", "nk1"),
+                ("O", "ok", "ck"),
+                ("L", "ok", "pk", "sk"),
+                ("P", "pk"),
+                ("S", "sk", "nk2"),
+                ("N2", "nk2"),
+            ),
+            _fd("sk -> nk2", "ok -> ck", "ck -> nk1", "nk1 -> rk"),
+        ),
+        # Q9: product type profit measure.
+        TPCHQuery(
+            "Q9",
+            q(
+                "Q9",
+                ["nk"],
+                ("P", "pk"),
+                ("PS", "pk", "sk"),
+                ("L", "ok", "pk", "sk"),
+                ("O", "ok", "ck"),
+                ("S", "sk", "nk"),
+                ("N", "nk"),
+            ),
+            _fd("sk -> nk", "ok -> ck"),
+        ),
+        # Q10: returned item reporting.
+        TPCHQuery(
+            "Q10",
+            q(
+                "Q10",
+                ["ck"],
+                ("C", "ck", "nk"),
+                ("O", "ok", "ck"),
+                ("L", "ok", "pk", "sk"),
+                ("N", "nk"),
+            ),
+            _fd("ok -> ck", "ck -> nk"),
+        ),
+        # Q11: important stock identification.
+        TPCHQuery(
+            "Q11",
+            q(
+                "Q11",
+                ["pk"],
+                ("PS", "pk", "sk"),
+                ("S", "sk", "nk"),
+                ("N", "nk"),
+            ),
+            _fd("sk -> nk"),
+        ),
+        # Q12: shipping modes and order priority.
+        TPCHQuery(
+            "Q12",
+            q(
+                "Q12",
+                ["sm"],
+                ("O", "ok", "ck"),
+                ("L", "ok", "pk", "sk", "sm"),
+            ),
+            _fd("ok -> ck"),
+        ),
+        # Q13: customer distribution.
+        TPCHQuery(
+            "Q13",
+            q("Q13", ["ck"], ("C", "ck"), ("O", "ok", "ck")),
+            _fd("ok -> ck"),
+        ),
+        # Q14: promotion effect.
+        TPCHQuery(
+            "Q14", q("Q14", [], ("L", "ok", "pk", "sk"), ("P", "pk")), ()
+        ),
+        # Q15: top supplier.
+        TPCHQuery(
+            "Q15",
+            q("Q15", ["sk"], ("S", "sk", "nk"), ("L", "ok", "pk", "sk")),
+            _fd("sk -> nk"),
+        ),
+        # Q16: parts/supplier relationship.
+        TPCHQuery(
+            "Q16",
+            q("Q16", ["brand", "pk"], ("P", "pk", "brand"), ("PS", "pk", "sk")),
+            _fd("pk -> brand"),
+        ),
+        # Q17: small-quantity-order revenue.
+        TPCHQuery(
+            "Q17", q("Q17", [], ("L", "ok", "pk", "sk"), ("P", "pk")), ()
+        ),
+        # Q18: large volume customer.
+        TPCHQuery(
+            "Q18",
+            q(
+                "Q18",
+                ["ck", "ok"],
+                ("C", "ck"),
+                ("O", "ok", "ck"),
+                ("L", "ok", "pk", "sk"),
+            ),
+            _fd("ok -> ck"),
+        ),
+        # Q19: discounted revenue.
+        TPCHQuery(
+            "Q19", q("Q19", [], ("L", "ok", "pk", "sk"), ("P", "pk")), ()
+        ),
+        # Q20: potential part promotion.
+        TPCHQuery(
+            "Q20",
+            q(
+                "Q20",
+                ["sk"],
+                ("S", "sk", "nk"),
+                ("N", "nk"),
+                ("PS", "pk", "sk"),
+                ("P", "pk"),
+            ),
+            _fd("sk -> nk"),
+        ),
+        # Q21: suppliers who kept orders waiting.
+        TPCHQuery(
+            "Q21",
+            q(
+                "Q21",
+                ["sk"],
+                ("S", "sk", "nk"),
+                ("L", "ok", "pk", "sk"),
+                ("O", "ok", "ck"),
+                ("N", "nk"),
+            ),
+            _fd("sk -> nk", "ok -> ck"),
+        ),
+        # Q22: global sales opportunity.
+        TPCHQuery(
+            "Q22",
+            q("Q22", ["cntry"], ("C", "ck", "cntry"), ("O", "ok", "ck")),
+            _fd("ok -> ck", "ck -> cntry"),
+        ),
+    ]
+
+
+@dataclass
+class ClassificationStudy:
+    """Counts of (q-)hierarchical TPC-H queries, with and without FDs."""
+
+    hierarchical_boolean: list[str]
+    hierarchical_non_boolean: list[str]
+    fd_gain_boolean: list[str]
+    fd_gain_non_boolean: list[str]
+
+    def summary_rows(self) -> list[tuple[str, int, int]]:
+        """(variant, plain count, +FD count) rows for the report table."""
+        return [
+            (
+                "Boolean",
+                len(self.hierarchical_boolean),
+                len(self.hierarchical_boolean) + len(self.fd_gain_boolean),
+            ),
+            (
+                "non-Boolean",
+                len(self.hierarchical_non_boolean),
+                len(self.hierarchical_non_boolean)
+                + len(self.fd_gain_non_boolean),
+            ),
+        ]
+
+
+def tpch_q3_database(
+    customers: int = 100,
+    orders_per_customer: int = 5,
+    lineitems_per_order: int = 3,
+    seed: int = 0,
+):
+    """Synthetic data for the Q3 skeleton (C, O, L) satisfying its FDs.
+
+    ``ok -> ck`` and ``ok -> odate`` hold by construction (each order has
+    one customer and one date), which is exactly what Theorem 4.11 needs
+    for the FD-guided engine to maintain Q3 with O(1) updates.
+    """
+    import random as _random
+
+    from ..data.database import Database
+
+    rng = _random.Random(seed)
+    db = Database()
+    c = db.create("C", ("ck", "seg"))
+    o = db.create("O", ("ok", "ck", "odate"))
+    l = db.create("L", ("ok", "pk", "sk"))
+    ok = 0
+    for ck in range(customers):
+        c.insert(ck, f"seg{ck % 5}")
+        for _ in range(orders_per_customer):
+            odate = rng.randrange(30)
+            o.insert(ok, ck, odate)
+            for _ in range(lineitems_per_order):
+                l.insert(ok, rng.randrange(customers * 2), rng.randrange(50))
+            ok += 1
+    return db
+
+
+def classify_tpch() -> ClassificationStudy:
+    """Run the Section 4.4 study over the skeletons."""
+    hb: list[str] = []
+    hn: list[str] = []
+    gb: list[str] = []
+    gn: list[str] = []
+    for item in tpch_queries():
+        boolean = item.boolean
+        if is_hierarchical(boolean):
+            hb.append(item.name)
+        elif is_hierarchical(sigma_reduct(boolean, item.fds)):
+            gb.append(item.name)
+        if is_hierarchical(item.query):
+            hn.append(item.name)
+        elif is_hierarchical(sigma_reduct(item.query, item.fds)):
+            gn.append(item.name)
+    return ClassificationStudy(hb, hn, gb, gn)

@@ -1,0 +1,88 @@
+"""The benchmark harness utilities themselves."""
+
+import math
+
+import pytest
+
+from repro.bench import Table, growth_exponent, run_throughput, time_call
+
+
+class TestGrowthExponent:
+    def test_linear(self):
+        xs = [100, 200, 400]
+        ys = [10, 20, 40]
+        assert growth_exponent(xs, ys) == pytest.approx(1.0)
+
+    def test_sqrt(self):
+        xs = [100, 400, 1600]
+        ys = [10, 20, 40]
+        assert growth_exponent(xs, ys) == pytest.approx(0.5)
+
+    def test_constant(self):
+        assert growth_exponent([10, 100, 1000], [5, 5, 5]) == pytest.approx(0.0)
+
+    def test_degenerate(self):
+        assert math.isnan(growth_exponent([1], [1]))
+        assert math.isnan(growth_exponent([], []))
+        # Zero values are skipped rather than crashing the log.
+        assert growth_exponent([0, 10, 100], [0, 5, 5]) == pytest.approx(0.0)
+
+
+class TestTable:
+    def test_render(self):
+        table = Table("Title", ["a", "b"])
+        table.add(1, 2.5)
+        table.add("x", 0.00001)
+        text = table.render()
+        assert "Title" in text
+        assert "2.500" in text
+        assert "1e-05" in text
+
+    def test_alignment(self):
+        table = Table("T", ["col"])
+        table.add("longvalue")
+        lines = table.render().splitlines()
+        header_line = lines[2]
+        assert header_line.startswith("col")
+
+
+class TestRunThroughput:
+    def test_counts_and_enumerations(self):
+        applied = []
+        outputs = [1, 2, 3]
+        result = run_throughput(
+            "s",
+            applied.append,
+            lambda: outputs,
+            list(range(10)),
+            batch_size=2,
+            enum_interval=2,
+        )
+        assert result.updates == 10
+        assert len(applied) == 10
+        assert result.enumerations == 2  # 5 batches, every 2nd
+        assert result.tuples_enumerated == 6
+        assert result.throughput > 0
+
+    def test_no_enumeration(self):
+        result = run_throughput(
+            "s", lambda u: None, lambda: [], list(range(6)), 2, 0
+        )
+        assert result.enumerations == 0
+
+    def test_time_budget_stops_early(self):
+        import time
+
+        def slow_update(_):
+            time.sleep(0.005)
+
+        result = run_throughput(
+            "s", slow_update, lambda: [], list(range(1000)), 1, 0,
+            time_budget=0.05,
+        )
+        assert result.updates < 1000
+
+    def test_time_call(self):
+        seconds, value = time_call(lambda: 42)
+        assert value == 42
+        assert seconds >= 0

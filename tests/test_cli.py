@@ -1,0 +1,75 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestClassify:
+    def test_q_hierarchical(self, capsys):
+        assert main(["classify", "Q(Y,X,Z) = R(Y,X) * S(Y,Z)"]) == 0
+        out = capsys.readouterr().out
+        assert "q-hierarchical:        yes" in out
+        assert "plan: viewtree" in out
+
+    def test_with_fds(self, capsys):
+        code = main(
+            [
+                "classify",
+                "Q(Z,Y,X,W) = R(X,W) * S(X,Y) * T(Y,Z)",
+                "--fd",
+                "X -> Y",
+                "--fd",
+                "Y -> Z",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "q-hier. under FDs:     yes" in out
+        assert "plan: fd-viewtree" in out
+
+    def test_cqap(self, capsys):
+        main(["classify", "Q(. | A, B, C) = E(A,B) * E(B,C) * E(C,A)"])
+        out = capsys.readouterr().out
+        assert "tractable CQAP:        yes" in out
+        assert "plan: cqap" in out
+
+    def test_static(self, capsys):
+        main(["classify", "Q(A,B,C) = R(A,D) * S(A,B) * T@s(B,C)"])
+        out = capsys.readouterr().out
+        assert "static/dyn tractable:  yes" in out
+
+    def test_insert_only_flag(self, capsys):
+        main(
+            [
+                "classify",
+                "Q(A,B,C,D) = R(A,B) * S(B,C) * T(C,D)",
+                "--insert-only",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "plan: insert-only" in out
+
+    def test_triangle(self, capsys):
+        main(["classify", "Q() = R(A,B) * S(B,C) * T(C,A)"])
+        out = capsys.readouterr().out
+        assert "plan: ivm-eps-triangle" in out
+
+
+class TestDemo:
+    def test_fig2_numbers(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "Q = 9" in out
+        assert "Q = 5" in out
+        assert "3 - 2 = 1" in out
+
+
+class TestErrors:
+    def test_bad_query(self):
+        with pytest.raises(Exception):
+            main(["classify", "not a query"])
+
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,165 @@
+"""CQAPs: fractures, the tractability dichotomy, and the access engine."""
+
+import pytest
+
+from repro.cqap import CQAPEngine, fracture, is_tractable_cqap
+from repro.data import Database, Update
+from repro.naive import evaluate
+from repro.query import parse_query
+from tests.conftest import valid_stream
+
+TRIANGLE_CHECK = parse_query("Qt(. | A, B, C) = E(A,B) * E(B,C) * E(C,A)")
+EDGE_LISTING = parse_query("Ql(C | A, B) = E(A,B) * E(B,C) * E(C,A)")
+LOOKUP = parse_query("Qab(A | B) = S(A,B) * T(B)")
+
+
+class TestFracture:
+    def test_triangle_check_fracture_has_three_components(self):
+        f = fracture(TRIANGLE_CHECK)
+        assert len(f.components) == 3
+        for component in f.components:
+            assert len(component.atoms) == 1
+            assert len(component.input_variables) == 2
+
+    def test_input_origin_mapping(self):
+        f = fracture(TRIANGLE_CHECK)
+        origins = sorted(set(f.input_origin.values()))
+        assert origins == ["A", "B", "C"]
+
+    def test_edge_listing_fracture_structure(self):
+        f = fracture(EDGE_LISTING)
+        # E(A,B) splits off; E(B,C) * E(C,A) stay connected through C.
+        sizes = sorted(len(c.atoms) for c in f.components)
+        assert sizes == [1, 2]
+
+    def test_same_input_merged_within_component(self):
+        q = parse_query("Q(. | A) = R(A, X) * S(X, A)")
+        f = fracture(q)
+        assert len(f.components) == 1
+        component = f.components[0]
+        # Two occurrences of A merge back into one fresh input variable.
+        assert len(component.input_variables) == 1
+
+    def test_output_variables_kept(self):
+        f = fracture(LOOKUP)
+        all_outputs = [v for c in f.components for v in c.head
+                       if v not in c.input_variables]
+        assert all_outputs == ["A"]
+
+    def test_combined_query(self):
+        combined = fracture(TRIANGLE_CHECK).combined()
+        assert len(combined.atoms) == 3
+        assert len(combined.input_variables) == 6
+
+
+class TestTractability:
+    def test_paper_examples(self):
+        assert is_tractable_cqap(TRIANGLE_CHECK)
+        assert not is_tractable_cqap(EDGE_LISTING)
+        assert is_tractable_cqap(LOOKUP)
+
+    def test_q_hierarchical_is_tractable_with_trivial_inputs(self):
+        # q-hierarchical queries are the tractable CQAPs without inputs;
+        # adding all free variables as inputs keeps tractability here.
+        q = parse_query("Q(. | Y) = R(Y, X) * S(Y, Z)")
+        assert is_tractable_cqap(q)
+
+    def test_non_hierarchical_fracture_intractable(self):
+        q = parse_query("Q(X, Y | W) = R(X) * S(X, Y) * T(Y) * U(W)")
+        assert not is_tractable_cqap(q)
+
+
+class TestCQAPEngine:
+    def test_rejects_intractable(self):
+        db = Database()
+        db.create("E", ("X", "Y"))
+        with pytest.raises(ValueError):
+            CQAPEngine(EDGE_LISTING, db)
+
+    def test_rejects_no_inputs(self):
+        db = Database()
+        db.create("R", ("A", "B"))
+        with pytest.raises(ValueError):
+            CQAPEngine(parse_query("Q(A) = R(A, B)"), db)
+
+    def test_triangle_check_differential(self, rng):
+        db = Database()
+        db.create("E", ("X", "Y"))
+        engine = CQAPEngine(TRIANGLE_CHECK, db)
+        edges: dict[tuple, int] = {}
+        for update in valid_stream(rng, {"E": 2}, 250, domain=10):
+            engine.apply(update)
+            edges[update.key] = edges.get(update.key, 0) + update.payload
+            if edges[update.key] == 0:
+                del edges[update.key]
+        for _ in range(200):
+            a, b, c = (rng.randrange(10) for _ in range(3))
+            expected = (
+                (a, b) in edges and (b, c) in edges and (c, a) in edges
+            )
+            assert engine.answer_boolean({"A": a, "B": b, "C": c}) == expected
+
+    def test_answer_payload_is_product(self):
+        db = Database()
+        db.create("E", ("X", "Y"))
+        engine = CQAPEngine(TRIANGLE_CHECK, db)
+        engine.apply(Update("E", (1, 2), 2))
+        engine.apply(Update("E", (2, 3), 3))
+        engine.apply(Update("E", (3, 1), 5))
+        answers = list(engine.answer({"A": 1, "B": 2, "C": 3}))
+        assert answers == [((), 30)]
+
+    def test_lookup_join_positional_inputs(self, rng):
+        db = Database()
+        db.create("S", ("A", "B"))
+        db.create("T", ("B",))
+        engine = CQAPEngine(LOOKUP, db)
+        for update in valid_stream(rng, {"S": 2}, 120, domain=8):
+            engine.apply(update)
+        for b in range(0, 8, 2):
+            engine.apply(Update("T", (b,), 1))
+        for b in range(8):
+            got = sorted(key[0] for key, _ in engine.answer((b,)))
+            s_data = db["S"].to_dict()
+            expected = sorted(
+                {a for (a, bb) in s_data if bb == b}
+            ) if (b,) in db["T"].data else []
+            assert got == expected
+
+    def test_answer_input_validation(self):
+        db = Database()
+        db.create("S", ("A", "B"))
+        db.create("T", ("B",))
+        engine = CQAPEngine(LOOKUP, db)
+        with pytest.raises(ValueError):
+            list(engine.answer(()))  # wrong arity
+        with pytest.raises(ValueError):
+            list(engine.answer({"Z": 1}))  # wrong name
+
+    def test_update_unknown_relation(self):
+        db = Database()
+        db.create("S", ("A", "B"))
+        db.create("T", ("B",))
+        engine = CQAPEngine(LOOKUP, db)
+        with pytest.raises(KeyError):
+            engine.apply(Update("X", (1,), 1))
+
+    def test_constant_access_cost(self):
+        """Access requests cost O(1) regardless of the graph size
+        (Theorem 4.8's upper bound for the triangle-check CQAP)."""
+        from repro.data import counting
+
+        costs = []
+        for n in (100, 400):
+            db = Database()
+            db.create("E", ("X", "Y"))
+            engine = CQAPEngine(TRIANGLE_CHECK, db)
+            for i in range(n):
+                engine.apply(Update("E", (i, (i + 1) % n), 1))
+            with counting() as ops:
+                for probe in range(20):
+                    engine.answer_boolean(
+                        {"A": probe, "B": probe + 1, "C": probe + 2}
+                    )
+            costs.append(ops.total())
+        assert costs[1] <= costs[0] * 2 + 10

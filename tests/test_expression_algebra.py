@@ -1,0 +1,129 @@
+"""Deeper tests of the symbolic expression algebra (repro.delta.expression)
+and its evaluation semantics against Section 2's operator definitions."""
+
+import pytest
+
+from repro.data import Database, Relation
+from repro.delta import Aggregate, Join, Leaf, Union, aggregate_all, from_query
+from repro.query import parse_query
+from repro.rings import Z, LiftingMap, identity_lifting
+
+
+def small_db():
+    db = Database()
+    r = db.create("R", ("A", "B"))
+    s = db.create("S", ("B", "C"))
+    r.add((1, 2), 2)
+    r.add((1, 3), 1)
+    s.add((2, 5), 3)
+    s.add((3, 5), 1)
+    return db
+
+
+class TestSchemas:
+    def test_join_schema_order(self):
+        expr = Join(Leaf("R", ("A", "B")), Leaf("S", ("B", "C")))
+        assert expr.schema() == ("A", "B", "C")
+
+    def test_aggregate_schema(self):
+        expr = Aggregate("B", Leaf("R", ("A", "B")))
+        assert expr.schema() == ("A",)
+
+    def test_aggregate_all_nests(self):
+        expr = aggregate_all(["A", "B"], Leaf("R", ("A", "B")))
+        assert expr.schema() == ()
+        assert str(expr).startswith("SUM_B SUM_A")
+
+
+class TestEvaluation:
+    def test_join_multiplies_payloads(self):
+        db = small_db()
+        expr = Join(Leaf("R", ("A", "B")), Leaf("S", ("B", "C")))
+        out = expr.evaluate(db)
+        assert out.get((1, 2, 5)) == 6  # 2 * 3
+        assert out.get((1, 3, 5)) == 1
+
+    def test_union_adds_payloads(self):
+        db = small_db()
+        expr = Union(Leaf("R", ("A", "B")), Leaf("R", ("A", "B")))
+        out = expr.evaluate(db)
+        assert out.get((1, 2)) == 4
+
+    def test_aggregation_with_lifting(self):
+        db = small_db()
+        expr = Aggregate("B", Leaf("R", ("A", "B")))
+        lifting = LiftingMap(Z, {"B": identity_lifting(Z)})
+        out = expr.evaluate(db, lifting=lifting)
+        # SUM over B of multiplicity * B: 2*2 + 1*3 = 7.
+        assert out.get((1,)) == 7
+
+    def test_aggregation_default_counts(self):
+        db = small_db()
+        expr = Aggregate("B", Leaf("R", ("A", "B")))
+        assert expr.evaluate(db).get((1,)) == 3
+
+    def test_from_query_matches_naive(self):
+        from repro.naive import evaluate
+
+        db = small_db()
+        q = parse_query("Q(A, C) = R(A, B) * S(B, C)")
+        expr = from_query(q)
+        assert expr.evaluate(db) == evaluate(q, db)
+
+    def test_leaf_arity_mismatch(self):
+        db = small_db()
+        with pytest.raises(ValueError):
+            Leaf("R", ("A",)).evaluate(db)
+
+    def test_join_empty_side(self):
+        db = small_db()
+        db.create("Empty", ("B", "Z"))
+        expr = Join(Leaf("R", ("A", "B")), Leaf("Empty", ("B", "Z")))
+        assert len(expr.evaluate(db)) == 0
+
+
+class TestDeltaAlgebraLaws:
+    def test_delta_distributes_over_union(self):
+        expr = Union(
+            Join(Leaf("R", ("A",)), Leaf("S", ("A",))),
+            Join(Leaf("R", ("A",)), Leaf("T", ("A",))),
+        )
+        delta = expr.delta("R")
+        text = str(delta)
+        assert text.count("dR") == 2
+
+    def test_second_order_delta(self):
+        """Delta of a delta: dR leaves are constants, so d(dV) w.r.t. the
+        same relation keeps only the terms with a remaining plain R."""
+        expr = Join(Leaf("R", ("A",)), Leaf("R", ("A",)))
+        first = expr.delta("R")
+        second = first.delta("R")
+        assert second is not None
+        assert "dR" in str(second)
+
+    def test_delta_of_aggregate_join(self):
+        q = parse_query("Q() = R(A, B) * S(B, C)")
+        expr = from_query(q)
+        delta = expr.delta("S")
+        db = small_db()
+        d_s = Relation("S", ("B", "C"), data={(2, 7): 1})
+        value = delta.evaluate(db, deltas={"S": d_s})
+        # New S-tuple (2,7) joins R's two copies of (1,2).
+        assert value.get(()) == 2
+
+    def test_delta_evaluation_equals_difference(self):
+        """d(expr) evaluated on (db, dR) == expr(db + dR) - expr(db)."""
+        from repro.naive import evaluate
+
+        db = small_db()
+        q = parse_query("Q(A, C) = R(A, B) * S(B, C)")
+        expr = from_query(q)
+        before = expr.evaluate(db)
+        d_r = Relation("R", ("A", "B"), data={(1, 2): -1, (9, 2): 4})
+        delta_value = expr.delta("R").evaluate(db, deltas={"R": d_r})
+        db["R"].apply(d_r)
+        after = expr.evaluate(db)
+        reconstructed = Relation("x", before.schema, Z)
+        reconstructed.apply(before)
+        reconstructed.apply(delta_value)
+        assert reconstructed == after

@@ -1,0 +1,75 @@
+"""IVM over the float ring: SUM aggregates with rounding tolerance."""
+
+import random
+
+import pytest
+
+from repro.data import Database, Update
+from repro.naive import evaluate
+from repro.query import parse_query
+from repro.rings import MIN_PLUS, FloatRing, LiftingMap, identity_lifting
+from repro.viewtree import ViewTreeEngine
+
+
+class TestFloatRingMaintenance:
+    def test_sum_of_revenue_per_store(self):
+        ring = FloatRing()
+        db = Database(ring=ring)
+        sales = db.create("Sales", ("store", "amount"))
+        open_stores = db.create("Open", ("store",))
+        q = parse_query("Q(store) = Sales(store, amount) * Open(store)")
+        lifting = LiftingMap(ring, {"amount": identity_lifting(ring)})
+        engine = ViewTreeEngine(q, db, lifting=lifting)
+
+        engine.apply(Update("Open", ("zurich",), 1.0))
+        engine.apply(Update("Sales", ("zurich", 19.99), 1.0))
+        engine.apply(Update("Sales", ("zurich", 5.01), 1.0))
+        out = dict(engine.enumerate())
+        assert out[("zurich",)] == pytest.approx(25.0)
+
+    def test_cancellation_cleans_entries(self):
+        ring = FloatRing()
+        db = Database(ring=ring)
+        db.create("R", ("A",))
+        q = parse_query("Q(A) = R(A)")
+        engine = ViewTreeEngine(q, db)
+        engine.apply(Update("R", (1,), 0.1))
+        engine.apply(Update("R", (1,), 0.2))
+        engine.apply(Update("R", (1,), -0.30000000000000004))
+        assert dict(engine.enumerate()) == {}
+        assert len(db["R"]) == 0
+
+    def test_random_float_stream_tracks_naive(self):
+        ring = FloatRing()
+        db = Database(ring=ring)
+        db.create("R", ("Y", "X"))
+        db.create("S", ("Y", "Z"))
+        q = parse_query("Q(Y, X, Z) = R(Y, X) * S(Y, Z)")
+        engine = ViewTreeEngine(q, db)
+        rng = random.Random(1)
+        for _ in range(200):
+            relation = rng.choice(["R", "S"])
+            key = (rng.randrange(6), rng.randrange(6))
+            engine.apply(Update(relation, key, round(rng.uniform(0.1, 2.0), 3)))
+        got = dict(engine.enumerate())
+        expected = evaluate(q, db).to_dict()
+        assert set(got) == set(expected)
+        for key, value in got.items():
+            assert value == pytest.approx(expected[key])
+
+
+class TestMinPlusStatic:
+    def test_two_hop_shortest_path(self):
+        """Tropical semiring: the join computes path lengths, the
+        projection takes the minimum — static evaluation only (no
+        additive inverse), exactly the §2/§4.6 boundary."""
+        db = Database(ring=MIN_PLUS)
+        e1 = db.create("E1", ("src", "mid"))
+        e2 = db.create("E2", ("mid", "dst"))
+        e1.add(("a", "b"), 3.0)
+        e1.add(("a", "c"), 1.0)
+        e2.add(("b", "d"), 1.0)
+        e2.add(("c", "d"), 5.0)
+        q = parse_query("Q(src, dst) = E1(src, mid) * E2(mid, dst)")
+        out = evaluate(q, db)
+        assert out.get(("a", "d")) == 4.0  # min(3+1, 1+5)

@@ -1,0 +1,103 @@
+"""CSV loading and dumping of relations."""
+
+import pytest
+
+from repro.data import (
+    Relation,
+    dump_relation_csv,
+    load_relation_csv,
+    relation_from_rows,
+)
+
+
+class TestLoad:
+    def test_basic(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("1,2\n1,3\n1,2\n")
+        relation = load_relation_csv(path, "R", ("A", "B"))
+        assert relation.to_dict() == {(1, 2): 2, (1, 3): 1}
+
+    def test_header_skipped(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("A,B\n1,2\n")
+        relation = load_relation_csv(path, "R", ("A", "B"), has_header=True)
+        assert relation.to_dict() == {(1, 2): 1}
+
+    def test_payload_column(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("1,2,5\n1,3,-2\n")
+        relation = load_relation_csv(
+            path, "R", ("A", "B"), payload_column=True
+        )
+        assert relation.to_dict() == {(1, 2): 5, (1, 3): -2}
+
+    def test_auto_conversion_mixed(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("zurich,42\n")
+        relation = load_relation_csv(path, "R", ("city", "n"))
+        assert relation.to_dict() == {("zurich", 42): 1}
+
+    def test_explicit_converters(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("1.5,x\n")
+        relation = load_relation_csv(
+            path, "R", ("A", "B"), converters=(float, str)
+        )
+        assert relation.to_dict() == {(1.5, "x"): 1}
+
+    def test_tsv(self, tmp_path):
+        path = tmp_path / "r.tsv"
+        path.write_text("1\t2\n")
+        relation = load_relation_csv(path, "R", ("A", "B"), delimiter="\t")
+        assert relation.to_dict() == {(1, 2): 1}
+
+    def test_column_count_mismatch(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("1,2,3\n")
+        with pytest.raises(ValueError, match="expected 2 columns"):
+            load_relation_csv(path, "R", ("A", "B"))
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("1,2\n\n3,4\n")
+        relation = load_relation_csv(path, "R", ("A", "B"))
+        assert len(relation) == 2
+
+    def test_converter_arity_check(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("1,2\n")
+        with pytest.raises(ValueError):
+            load_relation_csv(path, "R", ("A", "B"), converters=(int,))
+
+
+class TestDumpRoundTrip:
+    def test_round_trip(self, tmp_path):
+        relation = Relation("R", ("A", "B"), data={(1, 2): 3, (4, 5): 1})
+        path = tmp_path / "out.csv"
+        dump_relation_csv(relation, path)
+        again = load_relation_csv(
+            path, "R", ("A", "B"), has_header=True, payload_column=True
+        )
+        assert again == relation
+
+    def test_no_header_no_payload(self, tmp_path):
+        relation = Relation("R", ("A",), data={(1,): 2})
+        path = tmp_path / "out.csv"
+        dump_relation_csv(
+            relation, path, write_header=False, write_payload=False
+        )
+        assert path.read_text().strip() == "1"
+
+    def test_deterministic_order(self, tmp_path):
+        relation = Relation("R", ("A",), data={(3,): 1, (1,): 1, (2,): 1})
+        path_a = tmp_path / "a.csv"
+        path_b = tmp_path / "b.csv"
+        dump_relation_csv(relation, path_a)
+        dump_relation_csv(relation, path_b)
+        assert path_a.read_text() == path_b.read_text()
+
+
+class TestFromRows:
+    def test_rows(self):
+        relation = relation_from_rows("R", ("A", "B"), [(1, 2), (1, 2), (3, 4)])
+        assert relation.to_dict() == {(1, 2): 2, (3, 4): 1}

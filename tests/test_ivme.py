@@ -1,0 +1,265 @@
+"""IVM^epsilon: partitioned relations, triangle counter, trade-off engine."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import Database, Relation, Update, counting
+from repro.ivme import PartitionedRelation, TradeoffEngine, TriangleCounter
+from repro.naive import evaluate, evaluate_scalar
+from repro.query import parse_query
+
+TRIANGLE = parse_query("Q() = R(A,B) * S(B,C) * T(C,A)")
+TRADEOFF = parse_query("Q(A) = R(A, B) * S(B)")
+
+
+class TestPartitionedRelation:
+    def test_light_until_threshold(self):
+        part = PartitionedRelation("R", ("A", "B"), "A", threshold=3)
+        part.add((1, 10), 1)
+        part.add((1, 11), 1)
+        assert not part.is_heavy(1)
+        part.add((1, 12), 1)
+        assert part.is_heavy(1)
+        assert len(part.light) == 0 and len(part.heavy) == 3
+
+    def test_demotion_with_hysteresis(self):
+        part = PartitionedRelation("R", ("A", "B"), "A", threshold=4)
+        for b in range(4):
+            part.add((1, b), 1)
+        assert part.is_heavy(1)
+        part.add((1, 0), -1)
+        part.add((1, 1), -1)
+        assert part.is_heavy(1)  # 2 >= 4/2: hysteresis holds it
+        part.add((1, 2), -1)
+        assert not part.is_heavy(1)  # 1 < 2: demoted
+
+    def test_listener_sees_migration(self):
+        events = []
+        part = PartitionedRelation("R", ("A", "B"), "A", threshold=2)
+        part.add_listener(lambda v, moved, heavy: events.append((v, len(moved), heavy)))
+        part.add((5, 1), 1)
+        part.add((5, 2), 1)
+        assert events == [(5, 2, True)]
+
+    def test_get_spans_parts(self):
+        part = PartitionedRelation("R", ("A", "B"), "A", threshold=2)
+        part.add((1, 1), 3)
+        assert part.get((1, 1)) == 3
+        part.add((1, 2), 1)  # promotes
+        assert part.get((1, 1)) == 3
+        assert part.part_of(1) is part.heavy
+
+    def test_degree_counts_distinct_keys(self):
+        part = PartitionedRelation("R", ("A", "B"), "A", threshold=10)
+        part.add((1, 1), 1)
+        part.add((1, 1), 2)  # same key: degree stays 1
+        assert part.degree(1) == 1
+        part.add((1, 1), -3)
+        assert part.degree(1) == 0
+
+    def test_repartition_with_new_threshold(self):
+        part = PartitionedRelation("R", ("A", "B"), "A", threshold=100)
+        for b in range(5):
+            part.add((1, b), 1)
+        assert not part.is_heavy(1)
+        part.repartition(threshold=3)
+        assert part.is_heavy(1)
+        part.repartition(threshold=50)
+        assert not part.is_heavy(1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            PartitionedRelation("R", ("A",), "Z", 2)
+        with pytest.raises(ValueError):
+            PartitionedRelation("R", ("A",), "A", 2, hysteresis=1.0)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 4), st.integers(0, 6), st.integers(-1, 1)),
+            max_size=80,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_partition_invariants(self, ops):
+        """After any update sequence: parts are disjoint, every tuple is
+        in the part its value's heaviness dictates, and degrees match."""
+        part = PartitionedRelation("R", ("A", "B"), "A", threshold=3)
+        for a, b, m in ops:
+            if m:
+                part.add((a, b), m)
+        light_keys = set(part.light.keys())
+        heavy_keys = set(part.heavy.keys())
+        assert not (light_keys & heavy_keys)
+        for key in light_keys:
+            assert not part.is_heavy(key[0])
+        for key in heavy_keys:
+            assert part.is_heavy(key[0])
+        degrees: dict[int, int] = {}
+        for key in light_keys | heavy_keys:
+            degrees[key[0]] = degrees.get(key[0], 0) + 1
+        for value, degree in degrees.items():
+            assert part.degree(value) == degree
+
+
+class TestTriangleCounter:
+    @pytest.mark.parametrize("epsilon", [0.0, 0.33, 0.5, 1.0])
+    def test_differential_against_naive(self, epsilon, rng):
+        db = Database()
+        for name in ("R", "S", "T"):
+            db.create(name, ("X", "Y"))
+        counter = TriangleCounter(epsilon=epsilon)
+        for step in range(800):
+            rel = rng.choice(["R", "S", "T"])
+            update = Update(
+                rel, (rng.randrange(8), rng.randrange(8)), rng.choice([1, 1, -1])
+            )
+            counter.apply(update)
+            db[rel].add(update.key, update.payload)
+            if step % 200 == 199:
+                assert counter.count == evaluate_scalar(TRIANGLE, db)
+
+    def test_skewed_hub(self, rng):
+        """One hub node with degree O(N): exactly the case heavy/light
+        partitioning exists for."""
+        counter = TriangleCounter(epsilon=0.5)
+        db = Database()
+        for name in ("R", "S", "T"):
+            db.create(name, ("X", "Y"))
+        for i in range(200):
+            for rel, key in (
+                ("R", (0, i)),
+                ("S", (i, rng.randrange(30))),
+                ("T", (rng.randrange(30), 0)),
+            ):
+                counter.apply(Update(rel, key, 1))
+                db[rel].add(key, 1)
+        assert counter.count == evaluate_scalar(TRIANGLE, db)
+        assert counter.R.is_heavy(0)
+
+    def test_detect(self):
+        counter = TriangleCounter()
+        assert not counter.detect()
+        for rel, key in (("R", (1, 2)), ("S", (2, 3)), ("T", (3, 1))):
+            counter.apply(Update(rel, key, 1))
+        assert counter.detect()
+        counter.apply(Update("S", (2, 3), -1))
+        assert not counter.detect()
+
+    def test_bulk_load(self, rng):
+        db = Database()
+        for name in ("R", "S", "T"):
+            rel = db.create(name, ("X", "Y"))
+            for _ in range(150):
+                rel.insert(rng.randrange(10), rng.randrange(10))
+        counter = TriangleCounter(database=db)
+        assert counter.count == evaluate_scalar(TRIANGLE, db)
+
+    def test_unknown_relation(self):
+        with pytest.raises(KeyError):
+            TriangleCounter().apply(Update("X", (1, 2), 1))
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            TriangleCounter(epsilon=1.5)
+
+    def test_rebalance_keeps_count(self, rng):
+        counter = TriangleCounter(epsilon=0.5)
+        db = Database()
+        for name in ("R", "S", "T"):
+            db.create(name, ("X", "Y"))
+        for _ in range(300):
+            rel = rng.choice(["R", "S", "T"])
+            update = Update(rel, (rng.randrange(6), rng.randrange(6)), 1)
+            counter.apply(update)
+            db[rel].add(update.key, update.payload)
+        before = counter.count
+        counter.rebalance()
+        assert counter.count == before == evaluate_scalar(TRIANGLE, db)
+
+    def test_sublinear_update_cost_on_skew(self):
+        """Per-update op count stays well below N on a hub-heavy graph,
+        unlike the O(N) delta-query approach (Section 3.3's point)."""
+        costs = []
+        for n in (200, 800):
+            counter = TriangleCounter(epsilon=0.5)
+            for i in range(n):
+                counter.apply(Update("S", (0, i), 1))  # hub B = 0
+                counter.apply(Update("T", (i, 0), 1))
+            with counting() as ops:
+                counter.apply(Update("R", (0, 0), 1))
+            costs.append(ops.total())
+        # Quadrupling N should far less than quadruple the update cost.
+        assert costs[1] < costs[0] * 3
+
+
+class TestTradeoffEngine:
+    @pytest.mark.parametrize("epsilon", [0.0, 0.25, 0.5, 0.75, 1.0])
+    def test_differential(self, epsilon, rng):
+        engine = TradeoffEngine(epsilon=epsilon)
+        db = Database()
+        db.create("R", ("A", "B"))
+        db.create("S", ("B",))
+        for step in range(600):
+            if rng.random() < 0.6:
+                update = Update("R", (rng.randrange(25), rng.randrange(12)), rng.choice([1, 1, -1]))
+            else:
+                update = Update("S", (rng.randrange(12),), rng.choice([1, 1, -1]))
+            engine.apply(update)
+            db[update.relation].add(update.key, update.payload)
+            if step % 150 == 149:
+                assert engine.result() == evaluate(TRADEOFF, db)
+
+    def test_bulk_load(self, rng):
+        db = Database()
+        r = db.create("R", ("A", "B"))
+        s = db.create("S", ("B",))
+        for _ in range(200):
+            r.insert(rng.randrange(20), rng.randrange(10))
+        for b in range(10):
+            s.insert(b)
+        engine = TradeoffEngine(database=db)
+        assert engine.result() == evaluate(TRADEOFF, db)
+
+    def test_eager_extreme_has_cheap_enumeration(self):
+        """eps = 1: everything eager; payload_of needs no heavy scan."""
+        engine = TradeoffEngine(epsilon=1.0)
+        for a in range(50):
+            engine.apply(Update("R", (a, 0), 1))
+        engine.apply(Update("S", (0,), 1))
+        engine.rebalance()
+        with counting() as ops:
+            list(engine.enumerate())
+        eager_ops = ops.total()
+
+        lazy = TradeoffEngine(epsilon=0.0)
+        for a in range(50):
+            lazy.apply(Update("R", (a, 0), 1))
+        lazy.apply(Update("S", (0,), 1))
+        lazy.rebalance()
+        with counting() as ops:
+            list(lazy.enumerate())
+        lazy_ops = ops.total()
+        assert eager_ops < lazy_ops
+
+    def test_lazy_extreme_has_cheap_updates(self):
+        """eps = 0: updates to S on a heavy B cost O(1); eps = 1 pays O(N)."""
+        def cost(epsilon):
+            engine = TradeoffEngine(epsilon=epsilon)
+            # Hub B = 0 with degree 200, plus 300 background tuples so the
+            # hub's degree stays below N (and below N^1 at eps = 1).
+            for a in range(200):
+                engine.apply(Update("R", (a, 0), 1))
+            for a in range(300):
+                engine.apply(Update("R", (a, 1 + a % 50), 1))
+            engine.rebalance()
+            with counting() as ops:
+                engine.apply(Update("S", (0,), 1))
+            return ops.total()
+
+        assert cost(0.0) * 20 < cost(1.0)
+
+    def test_unknown_relation(self):
+        with pytest.raises(KeyError):
+            TradeoffEngine().apply(Update("X", (1,), 1))

@@ -1,0 +1,123 @@
+"""Focused edge-case tests across modules."""
+
+import pytest
+
+from repro import plan_maintenance
+from repro.data import Database, Relation
+from repro.query import parse_query
+from repro.rings import CovarianceRing, Moments, Z, moment_lifting
+
+
+class TestPlannerEdges:
+    def test_insert_only_does_not_apply_to_cyclic(self):
+        q = parse_query("Q() = R(A,B) * S(B,C) * T(C,A)")
+        plan = plan_maintenance(q, insert_only=True)
+        assert plan.strategy == "ivm-eps-triangle"
+
+    def test_insert_only_does_not_override_q_hierarchical(self):
+        q = parse_query("Q(Y,X,Z) = R(Y,X) * S(Y,Z)")
+        plan = plan_maintenance(q, insert_only=True)
+        assert plan.strategy == "viewtree"
+
+    def test_triangle_shape_requires_exact_pattern(self):
+        # Four atoms: not the triangle special case.
+        q = parse_query("Q() = R(A,B) * S(B,C) * T(C,A) * U(A,B)")
+        assert plan_maintenance(q).strategy == "delta"
+        # Self-loops in atoms: not triangle-shaped either.
+        q2 = parse_query("Q() = R(A,A) * S(A,C) * T(C,A)")
+        assert plan_maintenance(q2).strategy != "ivm-eps-triangle"
+
+    def test_fds_ignored_when_query_already_q_hierarchical(self):
+        from repro.constraints import parse_fds
+
+        q = parse_query("Q(Y,X,Z) = R(Y,X) * S(Y,Z)")
+        plan = plan_maintenance(q, parse_fds("X -> Z"))
+        assert plan.strategy == "viewtree"
+
+
+class TestReprsAndRendering:
+    def test_relation_pretty_truncates(self):
+        rel = Relation("R", ("A",), data={(i,): 1 for i in range(30)})
+        text = rel.pretty(limit=5)
+        assert "more" in text
+
+    def test_database_repr(self):
+        db = Database()
+        db.create("R", ("A",)).insert(1)
+        assert "R(1)" in repr(db)
+
+    def test_query_str_boolean_cqap(self):
+        q = parse_query("Q(. | A) = R(A, B)")
+        assert "| A" in str(q)
+        assert str(q).startswith("Q(")
+
+    def test_schema_repr(self):
+        from repro.data import Schema
+
+        assert "A" in repr(Schema.of("A", "B"))
+
+    def test_plan_str(self):
+        plan = plan_maintenance(parse_query("Q(A) = R(A)"))
+        assert "update" in str(plan)
+
+
+class TestMomentsAccessors:
+    def test_empty_moments(self):
+        empty = Moments()
+        assert empty.mean_of("X") == 0.0
+        assert empty.covariance("X", "Y") == 0.0
+
+    def test_mean(self):
+        ring = CovarianceRing()
+        total = ring.add(moment_lifting("X")(2.0), moment_lifting("X")(4.0))
+        assert total.mean_of("X") == 3.0
+
+    def test_quad_symmetric_access(self):
+        ring = CovarianceRing()
+        xy = ring.mul(moment_lifting("X")(2.0), moment_lifting("Y")(3.0))
+        assert xy.quad_of("X", "Y") == xy.quad_of("Y", "X") == 6.0
+
+    def test_moments_equality_ignores_zero_entries(self):
+        a = Moments(1.0, {"X": 0.0, "Y": 2.0}, {})
+        b = Moments(1.0, {"Y": 2.0}, {})
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestRelationMisc:
+    def test_iter_yields_keys(self):
+        rel = Relation("R", ("A",), data={(1,): 1, (2,): 3})
+        assert sorted(rel) == [(1,), (2,)]
+
+    def test_scale_by_zero_clears(self):
+        rel = Relation("R", ("A",), data={(1,): 5})
+        assert len(rel.scale(0)) == 0
+
+    def test_eq_notimplemented_for_other_types(self):
+        rel = Relation("R", ("A",))
+        assert rel != 42
+
+    def test_clear_resets_indexes(self):
+        rel = Relation("R", ("A", "B"), data={(1, 2): 1})
+        rel.index_on(("A",))
+        rel.clear()
+        assert rel.group_size(("A",), (1,)) == 0
+        rel.insert(1, 3)
+        assert list(rel.group(("A",), (1,))) == [(1, 3)]
+
+
+class TestViewNodeIntrospection:
+    def test_guard_relation_error_path(self):
+        from repro.viewtree.engine import ViewNode
+
+        node = ViewNode("X", (), True)
+        with pytest.raises(RuntimeError):
+            node.guard_relation()
+
+    def test_walk_covers_children(self):
+        from repro.viewtree.engine import ViewNode
+
+        parent = ViewNode("X", (), True)
+        child = ViewNode("Y", ("X",), True)
+        parent.children.append(child)
+        assert [n.variable for n in parent.walk()] == ["X", "Y"]

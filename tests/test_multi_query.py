@@ -1,0 +1,80 @@
+"""Multi-query planning and maintenance (Section 4.2 for query sets)."""
+
+import pytest
+
+from repro.cascade import MultiQueryEngine
+from repro.data import Database, Update
+from repro.naive import evaluate
+from repro.query import parse_query
+from tests.conftest import valid_stream
+
+Q1 = parse_query("Q1(A,B,C,D) = R(A,B) * S(B,C) * T(C,D)")
+Q2 = parse_query("Q2(A,B,C) = R(A,B) * S(B,C)")
+Q3 = parse_query("Q3(A,B) = U(A,B)")
+
+
+def fresh_db():
+    db = Database()
+    for name in ("R", "S", "T", "U"):
+        db.create(name, ("X", "Y"))
+    return db
+
+
+class TestPlanning:
+    def test_cascade_detected(self):
+        engine = MultiQueryEngine([Q1, Q2, Q3], fresh_db())
+        assert engine.assignments["Q1"].mode == "cascade-rider"
+        assert engine.assignments["Q1"].via == "Q2"
+        assert engine.assignments["Q2"].mode == "cascade-host"
+        assert engine.assignments["Q3"].mode == "direct"
+
+    def test_no_host_falls_back_to_direct(self):
+        engine = MultiQueryEngine([Q1, Q3], fresh_db())
+        assert engine.assignments["Q1"].mode == "direct"
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            MultiQueryEngine([Q1, Q1], fresh_db())
+
+    def test_plan_report(self):
+        engine = MultiQueryEngine([Q1, Q2], fresh_db())
+        report = engine.plan_report()
+        assert "Q1: cascades over Q2" in report
+
+    def test_unknown_query_enumeration(self):
+        engine = MultiQueryEngine([Q3], fresh_db())
+        with pytest.raises(KeyError):
+            list(engine.enumerate("Q9"))
+
+
+class TestMaintenance:
+    def test_all_queries_track_naive(self, rng):
+        db = fresh_db()
+        engine = MultiQueryEngine([Q1, Q2, Q3], db)
+        stream = valid_stream(
+            rng, {"R": 2, "S": 2, "T": 2, "U": 2}, 300, domain=7
+        )
+        for i, update in enumerate(stream):
+            engine.apply(update)
+            if i % 100 == 99:
+                for q in (Q1, Q2, Q3):
+                    got = dict(engine.enumerate(q.name))
+                    assert got == evaluate(q, db).to_dict(), q.name
+
+    def test_host_enumeration_served_by_cascade(self, rng):
+        db = fresh_db()
+        engine = MultiQueryEngine([Q1, Q2], db)
+        for update in valid_stream(rng, {"R": 2, "S": 2, "T": 2}, 120, domain=6):
+            engine.apply(update)
+        q2_out = dict(engine.enumerate("Q2"))
+        assert q2_out == evaluate(Q2, db).to_dict()
+        # After enumerating the host, the rider is fresh (not stale).
+        q1_out = dict(engine.enumerate("Q1"))
+        assert q1_out == evaluate(Q1, db).to_dict()
+
+    def test_updates_to_unrelated_relation(self, rng):
+        db = fresh_db()
+        db.create("Z", ("X", "Y"))
+        engine = MultiQueryEngine([Q3], db)
+        engine.apply(Update("Z", (1, 2), 1))  # no engine consumes Z
+        assert db["Z"].get((1, 2)) == 1

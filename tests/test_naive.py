@@ -1,0 +1,193 @@
+"""The full-recompute evaluator: ground truth for everything else."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import Database, Relation
+from repro.naive import evaluate, evaluate_scalar
+from repro.naive.algebra import join_all, join_pair, marginalize, union_into
+from repro.query import parse_query
+from repro.rings import Z, LiftingMap, identity_lifting
+from tests.conftest import fig2_database
+
+
+class TestEvaluate:
+    def test_triangle_count(self):
+        db = fig2_database()
+        q = parse_query("Q() = R(A,B) * S(B,C) * T(C,A)")
+        assert evaluate_scalar(q, db) == 9
+
+    def test_join_output_multiplicities(self):
+        db = fig2_database()
+        q = parse_query("Q(A,B,C) = R(A,B) * S(B,C) * T(C,A)")
+        out = evaluate(q, db)
+        assert out.to_dict() == {
+            ("a1", "b1", "c1"): 2,
+            ("a1", "b1", "c2"): 1,
+            ("a2", "b1", "c2"): 6,
+        }
+
+    def test_projection_groups(self):
+        db = fig2_database()
+        q = parse_query("Q(A) = R(A,B) * S(B,C) * T(C,A)")
+        out = evaluate(q, db)
+        assert out.to_dict() == {("a1",): 3, ("a2",): 6}
+
+    def test_empty_result(self):
+        db = Database()
+        db.create("R", ("A",))
+        db.create("S", ("A",))
+        db["R"].insert(1)
+        q = parse_query("Q(A) = R(A) * S(A)")
+        assert len(evaluate(q, db)) == 0
+
+    def test_cartesian_product(self):
+        db = Database()
+        db.create("R", ("A",)).insert(1)
+        db.create("S", ("B",)).insert(2)
+        q = parse_query("Q(A, B) = R(A) * S(B)")
+        assert evaluate(q, db).to_dict() == {(1, 2): 1}
+
+    def test_overrides_substitute_relation(self):
+        db = fig2_database()
+        delta = Relation("dR", ("A", "B"), data={("a2", "b1"): -2})
+        q = parse_query("Q() = dR(A,B) * S(B,C) * T(C,A)")
+        result = evaluate_scalar(q, db, overrides={"dR": delta})
+        assert result == -4  # Example 3.1's delta
+
+    def test_positional_rename(self):
+        db = Database()
+        rel = db.create("Edges", ("X", "Y"))
+        rel.insert(1, 2)
+        rel.insert(2, 3)
+        q = parse_query("Q(A, C) = Edges(A, B) * Edges(B, C)")
+        assert evaluate(q, db).to_dict() == {(1, 3): 1}
+
+    def test_arity_mismatch_raises(self):
+        db = Database()
+        db.create("R", ("A", "B"))
+        q = parse_query("Q(A) = R(A)")
+        with pytest.raises(ValueError):
+            evaluate(q, db)
+
+    def test_lifting_sum_aggregate(self):
+        db = Database()
+        rel = db.create("R", ("A", "V"))
+        rel.insert("x", 10)
+        rel.insert("x", 32)
+        q = parse_query("Q(A) = R(A, V)")
+        lifting = LiftingMap(Z, {"V": identity_lifting(Z)})
+        out = evaluate(q, db, lifting)
+        assert out.get(("x",)) == 42
+
+    def test_explicit_variable_order(self):
+        db = fig2_database()
+        q = parse_query("Q(A) = R(A,B) * S(B,C) * T(C,A)")
+        out = evaluate(q, db, variable_order=["A", "C", "B"])
+        assert out.to_dict() == {("a1",): 3, ("a2",): 6}
+        with pytest.raises(ValueError):
+            evaluate(q, db, variable_order=["A", "B"])
+
+    def test_scalar_requires_boolean(self):
+        db = fig2_database()
+        q = parse_query("Q(A) = R(A,B) * S(B,C) * T(C,A)")
+        with pytest.raises(ValueError):
+            evaluate_scalar(q, db)
+
+    def test_self_join(self):
+        db = Database()
+        e = db.create("E", ("X", "Y"))
+        for edge in [(1, 2), (2, 3), (1, 3)]:
+            e.insert(*edge)
+        q = parse_query("Q(A, C) = E(A, B) * E(B, C)")
+        assert evaluate(q, db).to_dict() == {(1, 3): 1}
+
+    def test_multiplicities_multiply(self):
+        db = Database()
+        db.create("R", ("A",)).insert(1, payload=3)
+        db.create("S", ("A",)).insert(1, payload=4)
+        q = parse_query("Q(A) = R(A) * S(A)")
+        assert evaluate(q, db).get((1,)) == 12
+
+
+class TestAlgebra:
+    def test_join_pair_natural(self):
+        a = Relation("A", ("X", "Y"), data={(1, 2): 2})
+        b = Relation("B", ("Y", "Z"), data={(2, 3): 5, (9, 9): 1})
+        out = join_pair(a, b, Z)
+        assert out.to_dict() == {(1, 2, 3): 10}
+        assert out.schema.variables == ("X", "Y", "Z")
+
+    def test_join_pair_no_shared(self):
+        a = Relation("A", ("X",), data={(1,): 2})
+        b = Relation("B", ("Y",), data={(5,): 3})
+        out = join_pair(a, b, Z)
+        assert out.to_dict() == {(1, 5): 6}
+
+    def test_join_all_smallest_first(self):
+        a = Relation("A", ("X",), data={(i,): 1 for i in range(5)})
+        b = Relation("B", ("X",), data={(1,): 1})
+        c = Relation("C", ("X",), data={(1,): 1, (2,): 1})
+        out = join_all([a, b, c], Z)
+        assert out.to_dict() == {(1,): 1}
+
+    def test_join_all_single_copies(self):
+        a = Relation("A", ("X",), data={(1,): 1})
+        out = join_all([a], Z)
+        out.insert(2)
+        assert len(a) == 1  # original untouched
+
+    def test_marginalize_count(self):
+        rel = Relation("R", ("A", "B"), data={(1, 2): 2, (1, 3): 1})
+        out = marginalize(rel, "B", Z)
+        assert out.to_dict() == {(1,): 3}
+
+    def test_marginalize_with_lifting(self):
+        rel = Relation("R", ("A", "B"), data={(1, 10): 1, (1, 5): 2})
+        out = marginalize(rel, "B", Z, lift=lambda b: b)
+        assert out.get((1,)) == 20
+
+    def test_union_into_projects(self):
+        target = Relation("T", ("A", "B"), data={(1, 2): 1})
+        source = Relation("S", ("B", "A"), data={(2, 1): 3})
+        union_into(target, source)
+        assert target.get((1, 2)) == 4
+
+    def test_union_into_schema_mismatch(self):
+        target = Relation("T", ("A",))
+        source = Relation("S", ("B",))
+        with pytest.raises(ValueError):
+            union_into(target, source)
+
+
+@st.composite
+def small_instance(draw):
+    r = draw(st.dictionaries(
+        st.tuples(st.integers(0, 3), st.integers(0, 3)),
+        st.integers(1, 3), max_size=8))
+    s = draw(st.dictionaries(
+        st.tuples(st.integers(0, 3), st.integers(0, 3)),
+        st.integers(1, 3), max_size=8))
+    return r, s
+
+
+class TestAgainstBruteForce:
+    @given(small_instance())
+    @settings(max_examples=60, deadline=None)
+    def test_two_way_join_matches_nested_loops(self, instance):
+        r_data, s_data = instance
+        db = Database()
+        r = db.create("R", ("A", "B"))
+        s = db.create("S", ("B", "C"))
+        for key, payload in r_data.items():
+            r.add(key, payload)
+        for key, payload in s_data.items():
+            s.add(key, payload)
+        q = parse_query("Q(A, C) = R(A, B) * S(B, C)")
+        expected: dict[tuple, int] = {}
+        for (a, b), m1 in r_data.items():
+            for (b2, c), m2 in s_data.items():
+                if b == b2:
+                    expected[(a, c)] = expected.get((a, c), 0) + m1 * m2
+        expected = {k: v for k, v in expected.items() if v}
+        assert evaluate(q, db).to_dict() == expected

@@ -1,0 +1,78 @@
+"""Static cost analysis of variable orders (repro.query.analysis)."""
+
+from repro.query import (
+    analyse_order,
+    canonical_order,
+    order_for,
+    parse_query,
+    search_order,
+    update_cost_bounds,
+)
+
+
+class TestUpdateCostBounds:
+    def test_q_hierarchical_all_constant(self):
+        q = parse_query("Q(Y,X,Z) = R(Y,X) * S(Y,Z)")
+        bounds = update_cost_bounds(canonical_order(q))
+        assert all(b.constant for b in bounds)
+        assert all(b.bound == "O(1)" for b in bounds)
+
+    def test_non_q_hierarchical_blocking_side(self):
+        q = parse_query("Q(A) = R(A, B) * S(B)")
+        bounds = {
+            b.atom.relation: b
+            for b in update_cost_bounds(search_order(q, require_free_top=True))
+        }
+        assert bounds["R"].constant
+        assert not bounds["S"].constant
+        assert bounds["S"].blocking_variables is not None
+
+    def test_path_query_middle_updates(self):
+        q = parse_query("Q(A,B,C,D) = R(A,B) * S(B,C) * T(C,D)")
+        bounds = {
+            b.atom.relation: b
+            for b in update_cost_bounds(search_order(q, require_free_top=True))
+        }
+        # Not q-hierarchical: at least one relation must be non-constant
+        # (Theorem 4.1's lower bound says they cannot all be O(1)).
+        assert not all(b.constant for b in bounds.values())
+
+    def test_bound_str_mentions_blocker(self):
+        q = parse_query("Q(A) = R(A, B) * S(B)")
+        bounds = update_cost_bounds(search_order(q, require_free_top=True))
+        text = "\n".join(str(b) for b in bounds)
+        assert "O(N) worst-case" in text
+        assert "unbound sibling" in text
+
+
+class TestOrderAnalysis:
+    def test_q_hierarchical_report(self):
+        q = parse_query("Q(Y,X,Z) = R(Y,X) * S(Y,Z)")
+        analysis = analyse_order(canonical_order(q))
+        assert analysis.all_updates_constant
+        assert analysis.constant_delay
+        assert analysis.max_dependency == 1
+        assert "free-top" in analysis.render()
+
+    def test_boolean_projection_report(self):
+        q = parse_query("Q(X) = R(X, Y) * S(Y)")  # hierarchical, not q
+        analysis = analyse_order(order_for(q))
+        assert not analysis.constant_delay  # canonical order: Y on top
+
+    def test_cyclic_query_analysis(self):
+        q = parse_query("Q() = R(A,B) * S(B,C) * T(C,A)")
+        analysis = analyse_order(order_for(q))
+        assert analysis.max_dependency == 2
+        # On the triangle, deltas can never bind all sibling deps.
+        assert not analysis.all_updates_constant
+
+    def test_consistency_with_staticdyn(self):
+        from repro.staticdyn import constant_update_atoms, find_static_dynamic_order
+
+        q = parse_query("Q(A,B,C) = R(A,D) * S(A,B) * T@s(B,C)")
+        order = find_static_dynamic_order(q)
+        via_staticdyn = constant_update_atoms(order)
+        via_analysis = {
+            b.atom for b in update_cost_bounds(order) if b.constant
+        }
+        assert via_staticdyn == via_analysis

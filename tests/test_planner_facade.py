@@ -1,0 +1,166 @@
+"""The planner ladder (Section 6) and the IVMEngine facade."""
+
+import pytest
+
+from repro import Database, IVMEngine, parse_query, plan_maintenance
+from repro.constraints import parse_fds
+from repro.data import Update
+from repro.naive import evaluate, evaluate_scalar
+from tests.conftest import valid_stream
+
+
+class TestPlannerLadder:
+    def test_q_hierarchical(self):
+        plan = plan_maintenance(parse_query("Q(Y,X,Z) = R(Y,X) * S(Y,Z)"))
+        assert plan.strategy == "viewtree"
+        assert plan.update_time == "O(1)"
+
+    def test_fd_rescue(self):
+        q = parse_query("Q(Z, Y, X, W) = R(X, W) * S(X, Y) * T(Y, Z)")
+        fds = parse_fds("X -> Y", "Y -> Z")
+        assert plan_maintenance(q).strategy == "delta"
+        assert plan_maintenance(q, fds).strategy == "fd-viewtree"
+
+    def test_static_dynamic(self):
+        q = parse_query("Q(A,B,C) = R(A,D) * S(A,B) * T@s(B,C)")
+        assert plan_maintenance(q).strategy == "static-dynamic"
+
+    def test_cqap(self):
+        q = parse_query("Q(. | A, B, C) = E(A,B) * E(B,C) * E(C,A)")
+        assert plan_maintenance(q).strategy == "cqap"
+
+    def test_intractable_cqap_falls_back(self):
+        q = parse_query("Q(C | A, B) = E(A,B) * E(B,C) * E(C,A)")
+        assert plan_maintenance(q).strategy == "delta"
+
+    def test_insert_only(self):
+        q = parse_query("Q(A,B,C,D) = R(A,B) * S(B,C) * T(C,D)")
+        assert plan_maintenance(q).strategy == "delta"
+        assert plan_maintenance(q, insert_only=True).strategy == "insert-only"
+
+    def test_triangle(self):
+        q = parse_query("Q() = R(A,B) * S(B,C) * T(C,A)")
+        assert plan_maintenance(q).strategy == "ivm-eps-triangle"
+
+    def test_hierarchical_not_q(self):
+        q = parse_query("Q(A) = R(A,B) * S(B)")
+        assert plan_maintenance(q).strategy == "viewtree-hierarchical"
+
+    def test_plan_renders(self):
+        plan = plan_maintenance(parse_query("Q(Y,X,Z) = R(Y,X) * S(Y,Z)"))
+        assert "Theorem 4.1" in str(plan)
+
+
+class TestFacade:
+    def test_viewtree_path(self, rng):
+        db = Database()
+        db.create("R", ("Y", "X"))
+        db.create("S", ("Y", "Z"))
+        q = parse_query("Q(Y,X,Z) = R(Y,X) * S(Y,Z)")
+        engine = IVMEngine(q, db)
+        for update in valid_stream(rng, {"R": 2, "S": 2}, 200):
+            engine.apply(update)
+        assert dict(engine.enumerate()) == evaluate(q, db).to_dict()
+
+    def test_triangle_path(self, rng):
+        db = Database()
+        for name in ("R", "S", "T"):
+            db.create(name, ("X", "Y"))
+        q = parse_query("Q() = R(A,B) * S(B,C) * T(C,A)")
+        engine = IVMEngine(q, db)
+        for update in valid_stream(rng, {"R": 2, "S": 2, "T": 2}, 300):
+            engine.apply(update)
+        assert engine.scalar() == evaluate_scalar(q, db)
+
+    def test_fd_path(self, rng):
+        from tests.test_constraints import fd_satisfying_db
+
+        db = fd_satisfying_db(rng)
+        q = parse_query("Q(Z, Y, X, W) = R(X, W) * S(X, Y) * T(Y, Z)")
+        fds = parse_fds("X -> Y", "Y -> Z")
+        engine = IVMEngine(q, db, fds=fds)
+        assert engine.plan.strategy == "fd-viewtree"
+        for _ in range(100):
+            engine.apply(Update("R", (rng.randrange(12), rng.randrange(20)), 1))
+        assert dict(engine.enumerate()) == evaluate(q, db).to_dict()
+
+    def test_cqap_path(self):
+        db = Database()
+        db.create("E", ("X", "Y"))
+        q = parse_query("Q(. | A, B, C) = E(A,B) * E(B,C) * E(C,A)")
+        engine = IVMEngine(q, db)
+        engine.insert("E", 1, 2)
+        engine.insert("E", 2, 3)
+        engine.insert("E", 3, 1)
+        assert list(engine.answer({"A": 1, "B": 2, "C": 3}))
+
+    def test_answer_rejected_for_non_cqap(self):
+        db = Database()
+        db.create("R", ("Y", "X"))
+        db.create("S", ("Y", "Z"))
+        engine = IVMEngine(parse_query("Q(Y,X,Z) = R(Y,X) * S(Y,Z)"), db)
+        with pytest.raises(TypeError):
+            engine.answer({"Y": 1})
+
+    def test_insert_only_path(self, rng):
+        db = Database()
+        for name in ("R", "S", "T"):
+            rel = db.create(name, ("X", "Y"))
+            for _ in range(20):
+                rel.set((rng.randrange(5), rng.randrange(5)), 1)
+        q = parse_query("Q(A,B,C,D) = R(A,B) * S(B,C) * T(C,D)")
+        engine = IVMEngine(q, db, insert_only=True)
+        assert engine.plan.strategy == "insert-only"
+        engine.insert("R", 0, 0)
+        got = sorted(key for key, _ in engine.enumerate())
+        assert got == sorted(evaluate(q, db).keys())
+
+    def test_delta_fallback_path(self, rng):
+        db = Database()
+        for name in ("R", "S", "T"):
+            db.create(name, ("X", "Y"))
+        q = parse_query("Q(A,B,C,D) = R(A,B) * S(B,C) * T(C,D)")
+        engine = IVMEngine(q, db)
+        assert engine.plan.strategy == "delta"
+        for update in valid_stream(rng, {"R": 2, "S": 2, "T": 2}, 150, domain=5):
+            engine.apply(update)
+        assert dict(engine.enumerate()) == evaluate(q, db).to_dict()
+
+    def test_static_dynamic_path(self, rng):
+        db = Database()
+        db.create("R", ("A", "D"))
+        db.create("S", ("A", "B"))
+        t = db.create("T", ("B", "C"))
+        for _ in range(50):
+            t.insert(rng.randrange(6), rng.randrange(6))
+        q = parse_query("Q(A,B,C) = R(A,D) * S(A,B) * T@s(B,C)")
+        engine = IVMEngine(q, db)
+        assert engine.plan.strategy == "static-dynamic"
+        for update in valid_stream(rng, {"R": 2, "S": 2}, 150, domain=6):
+            engine.apply(update)
+        assert dict(engine.enumerate()) == evaluate(q, db).to_dict()
+
+    def test_insert_delete_helpers(self):
+        db = Database()
+        db.create("R", ("Y", "X"))
+        db.create("S", ("Y", "Z"))
+        engine = IVMEngine(parse_query("Q(Y,X,Z) = R(Y,X) * S(Y,Z)"), db)
+        engine.insert("R", 1, 2)
+        engine.insert("S", 1, 3)
+        assert dict(engine.enumerate()) == {(1, 2, 3): 1}
+        engine.delete("R", 1, 2)
+        assert dict(engine.enumerate()) == {}
+
+    def test_explicit_plan_override(self):
+        from repro.core import Plan
+
+        db = Database()
+        db.create("R", ("Y", "X"))
+        db.create("S", ("Y", "Z"))
+        q = parse_query("Q(Y,X,Z) = R(Y,X) * S(Y,Z)")
+        plan = Plan("delta", "forced", "O(N)", "O(1)", "O(N)")
+        engine = IVMEngine(q, db, plan=plan)
+        assert engine.plan.strategy == "delta"
+        engine.insert("R", 1, 2)
+        engine.insert("S", 1, 3)
+        assert dict(engine.enumerate()) == {(1, 2, 3): 1}

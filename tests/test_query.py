@@ -1,0 +1,239 @@
+"""Query AST, parser, hypergraph, and syntactic-class tests.
+
+The examples come straight from the paper: Example 4.3's (non-)
+hierarchical queries, the triangle query, Example 4.5's pair, and the
+class inclusions stated in Section 4.1.
+"""
+
+import pytest
+
+from repro.query import (
+    Atom,
+    Query,
+    QueryParseError,
+    build_join_tree,
+    gyo_reduce,
+    is_alpha_acyclic,
+    is_free_connex,
+    is_free_dominant,
+    is_hierarchical,
+    is_input_dominant,
+    is_q_hierarchical,
+    parse_query,
+    query,
+    witness_non_hierarchical,
+)
+
+TRIANGLE = parse_query("Q() = R(A,B) * S(B,C) * T(C,A)")
+PATH2 = parse_query("Q(A,B,C) = R(A,B) * S(B,C)")
+PATH3 = parse_query("Q(A,B,C,D) = R(A,B) * S(B,C) * T(C,D)")
+FIG3 = parse_query("Q(Y,X,Z) = R(Y,X) * S(Y,Z)")
+EX43_NON_HIER = parse_query("Q() = R(X) * S(X,Y) * T(Y)")
+EX43_HIER_NOT_Q = parse_query("Q(X) = R(X,Y) * S(Y)")
+
+
+class TestParser:
+    def test_simple(self):
+        q = parse_query("Q(A, B) = R(A, X) * S(X, B)")
+        assert q.name == "Q"
+        assert q.head == ("A", "B")
+        assert [a.relation for a in q.atoms] == ["R", "S"]
+
+    def test_boolean(self):
+        q = parse_query("Q() = R(A)")
+        assert q.is_boolean()
+        assert q.head == ()
+
+    def test_comma_separator(self):
+        q = parse_query("Q(A) = R(A, B), S(B)")
+        assert len(q.atoms) == 2
+
+    def test_cqap_syntax(self):
+        q = parse_query("Q(C | A, B) = E(A,B) * E(B,C)")
+        assert q.input_variables == ("A", "B")
+        assert q.output_variables == ("C",)
+        assert set(q.head) == {"A", "B", "C"}
+
+    def test_cqap_no_outputs(self):
+        q = parse_query("Q(. | A, B) = E(A,B)")
+        assert q.output_variables == ()
+        assert q.input_variables == ("A", "B")
+
+    def test_static_adornment(self):
+        q = parse_query("Q(A, B) = R(A) * S@s(A, B) * T(B)")
+        statics = [a.relation for a in q.static_atoms]
+        assert statics == ["S"]
+
+    def test_head_var_not_in_body(self):
+        with pytest.raises(ValueError):
+            parse_query("Q(Z) = R(A)")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_query("this is not a query")
+        with pytest.raises(QueryParseError):
+            parse_query("Q(A) = R(A) nonsense(")
+
+    def test_roundtrip_str(self):
+        q = parse_query("Q(C | A, B) = E(A, B) * E(B, C)")
+        text = str(q)
+        assert "C | A, B" in text and "E(A, B)" in text
+
+
+class TestQueryStructure:
+    def test_variables_and_classes(self):
+        assert TRIANGLE.variables() == {"A", "B", "C"}
+        assert TRIANGLE.bound_variables == {"A", "B", "C"}
+        assert PATH2.free_variables == {"A", "B", "C"}
+
+    def test_atoms_of(self):
+        atoms_b = TRIANGLE.atoms_of("B")
+        assert {a.relation for a in atoms_b} == {"R", "S"}
+
+    def test_self_join_detection(self):
+        q = parse_query("Q() = E(A,B) * E(B,C)")
+        assert not q.is_self_join_free()
+        assert TRIANGLE.is_self_join_free()
+
+    def test_atom_for_relation(self):
+        atom = TRIANGLE.atom_for_relation("S")
+        assert atom.variables == ("B", "C")
+        with pytest.raises(KeyError):
+            TRIANGLE.atom_for_relation("Z")
+
+    def test_connected_components(self):
+        q = parse_query("Q(A, C) = R(A, B) * S(C) * T(C, D)")
+        components = q.connected_components()
+        assert len(components) == 2
+        sizes = sorted(len(c.atoms) for c in components)
+        assert sizes == [1, 2]
+        # Heads are split component-wise.
+        heads = sorted(c.head for c in components)
+        assert heads == [("A",), ("C",)]
+
+    def test_boolean_and_full_versions(self):
+        boolean = PATH2.boolean_version()
+        assert boolean.head == ()
+        full = TRIANGLE.full_version()
+        assert set(full.head) == {"A", "B", "C"}
+
+    def test_duplicate_head_rejected(self):
+        with pytest.raises(ValueError):
+            Query("Q", ("A", "A"), (Atom("R", ("A",)),))
+
+    def test_input_must_be_free(self):
+        with pytest.raises(ValueError):
+            Query("Q", ("A",), (Atom("R", ("A", "B")),), input_variables=("B",))
+
+    def test_query_helper_static_suffix(self):
+        q = query("Q", ["A"], ("R@s", "A"), ("S", "A"))
+        assert q.atoms[0].static and not q.atoms[1].static
+
+
+class TestHierarchical:
+    def test_example_4_3_non_hierarchical(self):
+        assert not is_hierarchical(EX43_NON_HIER)
+        witness = witness_non_hierarchical(EX43_NON_HIER)
+        assert witness == ("X", "Y")
+
+    def test_example_4_3_dropping_any_atom_makes_hierarchical(self):
+        # "The query becomes hierarchical if we drop any of the atoms."
+        atoms = EX43_NON_HIER.atoms
+        for drop in range(3):
+            remaining = tuple(a for i, a in enumerate(atoms) if i != drop)
+            q = Query("Q", (), remaining)
+            assert is_hierarchical(q), f"dropping atom {drop}"
+
+    def test_example_4_3_hierarchical_not_q(self):
+        assert is_hierarchical(EX43_HIER_NOT_Q)
+        assert not is_q_hierarchical(EX43_HIER_NOT_Q)
+
+    def test_fig3_query_is_q_hierarchical(self):
+        assert is_q_hierarchical(FIG3)
+
+    def test_path2_q_hierarchical_all_free(self):
+        # Q2 of Example 4.5.
+        assert is_q_hierarchical(PATH2)
+
+    def test_path3_not_hierarchical(self):
+        assert not is_hierarchical(PATH3)
+
+    def test_triangle_hierarchy(self):
+        assert not is_hierarchical(TRIANGLE)
+
+    def test_boolean_version_preserves_hierarchy(self):
+        # Hierarchicality ignores the head; q-hierarchicality does not.
+        assert is_hierarchical(FIG3.boolean_version())
+        assert is_q_hierarchical(FIG3.boolean_version())
+
+    def test_projection_can_break_q(self):
+        # Keeping only X free in R(Y,X)*S(Y,Z): Y dominates X but is bound.
+        q = FIG3.with_head(("X",))
+        assert is_hierarchical(q)
+        assert not is_q_hierarchical(q)
+
+    def test_free_dominant_equals_q_for_no_inputs(self):
+        # Footnote 4: the properties q and free-dominant coincide.
+        for q in [FIG3, EX43_HIER_NOT_Q, PATH2, FIG3.with_head(("X",))]:
+            assert (is_hierarchical(q) and is_free_dominant(q)) == is_q_hierarchical(q)
+
+    def test_input_dominant(self):
+        q = parse_query("Q(C | A, B) = E1(A,B) * E2(B,C) * E3(C,A)")
+        assert not is_input_dominant(q) or is_input_dominant(q)  # smoke
+        simple = parse_query("Q(A | B) = S(A,B) * T(B)")
+        assert is_input_dominant(simple)
+
+
+class TestHypergraph:
+    def test_gyo_empty_for_acyclic(self):
+        assert gyo_reduce([frozenset("AB"), frozenset("BC")]) == []
+
+    def test_gyo_residue_for_triangle(self):
+        residue = gyo_reduce(
+            [frozenset("AB"), frozenset("BC"), frozenset("CA")]
+        )
+        assert residue  # triangle is cyclic
+
+    def test_alpha_acyclic(self):
+        assert is_alpha_acyclic(PATH3)
+        assert not is_alpha_acyclic(TRIANGLE)
+
+    def test_q_hierarchical_implies_free_connex(self):
+        # Section 4.1: q-hierarchical is a strict subclass of free-connex.
+        for q in [FIG3, PATH2]:
+            assert is_q_hierarchical(q)
+            assert is_free_connex(q)
+
+    def test_free_connex_strictness(self):
+        # The full path-3 join is free-connex but not q-hierarchical.
+        full_path = PATH3
+        assert is_free_connex(full_path)
+        assert not is_q_hierarchical(full_path)
+
+    def test_not_free_connex(self):
+        # Boolean path is acyclic; projecting to the endpoints breaks
+        # free-connexity.
+        q = parse_query("Q(A, C) = R(A, B) * S(B, C)")
+        assert is_alpha_acyclic(q)
+        assert not is_free_connex(q)
+
+    def test_join_tree_running_intersection(self):
+        forest = build_join_tree(PATH3)
+        assert forest is not None
+        atoms = [n.atom for root in forest for n in root.walk()]
+        assert len(atoms) == 3
+        # Running intersection: for each variable the atoms containing it
+        # form a connected subtree.  Spot-check by parenthood relations.
+        for root in forest:
+            for node in root.walk():
+                for child in node.children:
+                    shared = set(node.atom.variables) & set(child.atom.variables)
+                    assert shared, "parent and child must share variables"
+
+    def test_join_tree_none_for_cyclic(self):
+        assert build_join_tree(TRIANGLE) is None
+
+    def test_join_tree_disconnected(self):
+        q = parse_query("Q() = R(A) * S(B)")
+        forest = build_join_tree(q)
+        assert forest is not None and len(forest) == 2

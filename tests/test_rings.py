@@ -1,0 +1,260 @@
+"""Ring and lifting-function tests, including property-based axiom checks."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rings import (
+    B,
+    MIN_PLUS,
+    R,
+    Z,
+    BooleanSemiring,
+    CovarianceRing,
+    FloatRing,
+    IntegerRing,
+    LiftingMap,
+    Moments,
+    ProductRing,
+    Ring,
+    check_ring_axioms,
+    count_lifting,
+    identity_lifting,
+    moment_lifting,
+)
+
+
+class TestIntegerRing:
+    def test_identities(self):
+        assert Z.zero == 0
+        assert Z.one == 1
+
+    def test_operations(self):
+        assert Z.add(2, 3) == 5
+        assert Z.mul(2, 3) == 6
+        assert Z.neg(2) == -2
+        assert Z.sub(2, 3) == -1
+
+    def test_is_zero(self):
+        assert Z.is_zero(0)
+        assert not Z.is_zero(1)
+        assert not Z.is_zero(-1)
+
+    def test_sum_product(self):
+        assert Z.sum([1, 2, 3]) == 6
+        assert Z.product([2, 3, 4]) == 24
+        assert Z.sum([]) == 0
+        assert Z.product([]) == 1
+
+    def test_has_negation(self):
+        assert Z.has_negation
+
+    def test_axioms_on_samples(self):
+        check_ring_axioms(Z, [-3, -1, 0, 1, 2, 7])
+
+    @given(st.lists(st.integers(-50, 50), min_size=1, max_size=4))
+    def test_axioms_property(self, samples):
+        check_ring_axioms(Z, samples)
+
+    def test_equality_and_hash(self):
+        assert Z == IntegerRing()
+        assert hash(Z) == hash(IntegerRing())
+
+
+class TestFloatRing:
+    def test_tolerance_zero(self):
+        assert R.is_zero(1e-15)
+        assert not R.is_zero(1e-3)
+
+    def test_residual_cancellation(self):
+        value = R.add(0.1, R.add(0.2, R.neg(0.30000000000000004)))
+        assert R.is_zero(value)
+
+    def test_axioms_on_samples(self):
+        check_ring_axioms(R, [0.0, 1.0, -2.5, 4.0])
+
+    def test_custom_tolerance_identity(self):
+        loose = FloatRing(tolerance=0.1)
+        assert loose.is_zero(0.05)
+        assert loose != R
+
+
+class TestBooleanSemiring:
+    def test_operations(self):
+        assert B.add(True, False) is True
+        assert B.add(False, False) is False
+        assert B.mul(True, True) is True
+        assert B.mul(True, False) is False
+
+    def test_no_negation(self):
+        assert not B.has_negation
+        assert not hasattr(B, "neg") or not isinstance(B, Ring)
+
+    def test_axioms(self):
+        check_ring_axioms(B, [True, False])
+
+
+class TestMinPlus:
+    def test_identities(self):
+        assert MIN_PLUS.zero == math.inf
+        assert MIN_PLUS.one == 0.0
+
+    def test_operations(self):
+        assert MIN_PLUS.add(3.0, 5.0) == 3.0
+        assert MIN_PLUS.mul(3.0, 5.0) == 8.0
+
+    def test_axioms(self):
+        check_ring_axioms(MIN_PLUS, [0.0, 1.0, 5.0, math.inf])
+
+
+class TestProductRing:
+    def test_componentwise(self):
+        ring = ProductRing(Z, Z)
+        assert ring.zero == (0, 0)
+        assert ring.one == (1, 1)
+        assert ring.add((1, 2), (3, 4)) == (4, 6)
+        assert ring.mul((1, 2), (3, 4)) == (3, 8)
+        assert ring.neg((1, -2)) == (-1, 2)
+
+    def test_is_zero_requires_all(self):
+        ring = ProductRing(Z, Z)
+        assert ring.is_zero((0, 0))
+        assert not ring.is_zero((0, 1))
+
+    def test_count_sum_composite(self):
+        # The classic (COUNT, SUM) payload in one pass.
+        ring = ProductRing(Z, Z)
+        entries = [(1, 10), (1, 32)]
+        total = ring.zero
+        for e in entries:
+            total = ring.add(total, e)
+        assert total == (2, 42)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ProductRing()
+
+    def test_rejects_semiring_factor(self):
+        with pytest.raises(TypeError):
+            ProductRing(Z, BooleanSemiring())
+
+    def test_axioms(self):
+        ring = ProductRing(Z, Z)
+        check_ring_axioms(ring, [(0, 0), (1, 2), (-1, 3)])
+
+
+class TestCovarianceRing:
+    def setup_method(self):
+        self.ring = CovarianceRing()
+
+    def test_identities(self):
+        assert self.ring.is_zero(self.ring.zero)
+        one = self.ring.one
+        assert one.count == 1 and not one.sums and not one.quads
+
+    def test_lift_single_value(self):
+        lifted = moment_lifting("X")(3.0)
+        assert lifted.count == 1
+        assert lifted.sum_of("X") == 3.0
+        assert lifted.quad_of("X", "X") == 9.0
+
+    def test_mul_disjoint_variables(self):
+        x = moment_lifting("X")(2.0)
+        y = moment_lifting("Y")(5.0)
+        product = self.ring.mul(x, y)
+        assert product.count == 1
+        assert product.sum_of("X") == 2.0
+        assert product.sum_of("Y") == 5.0
+        assert product.quad_of("X", "Y") == 10.0
+        assert product.quad_of("X", "X") == 4.0
+
+    def test_aggregation_matches_direct_moments(self):
+        # Aggregate three (x, y) points through the ring and compare with
+        # direct computation of count/sums/quads.
+        points = [(1.0, 2.0), (3.0, 5.0), (-2.0, 4.0)]
+        total = self.ring.zero
+        for x, y in points:
+            term = self.ring.mul(moment_lifting("X")(x), moment_lifting("Y")(y))
+            total = self.ring.add(total, term)
+        assert total.count == 3
+        assert total.sum_of("X") == sum(p[0] for p in points)
+        assert total.sum_of("Y") == sum(p[1] for p in points)
+        assert total.quad_of("X", "Y") == sum(p[0] * p[1] for p in points)
+        assert total.quad_of("X", "X") == sum(p[0] ** 2 for p in points)
+
+    def test_covariance_value(self):
+        points = [(1.0, 1.0), (2.0, 2.0), (3.0, 3.0)]
+        total = self.ring.zero
+        for x, y in points:
+            term = self.ring.mul(moment_lifting("X")(x), moment_lifting("Y")(y))
+            total = self.ring.add(total, term)
+        assert total.covariance("X", "Y") == pytest.approx(2.0 / 3.0)
+
+    def test_neg_cancels(self):
+        x = self.ring.mul(moment_lifting("X")(2.0), moment_lifting("Y")(7.0))
+        assert self.ring.is_zero(self.ring.add(x, self.ring.neg(x)))
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(-8, 8).map(float),
+                st.integers(-8, 8).map(float),
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_mul_commutative(self, values):
+        # Integer-valued floats keep the arithmetic exact; with arbitrary
+        # floats the two accumulation orders differ by rounding only.
+        elements = [
+            CovarianceRing().mul(moment_lifting("X")(x), moment_lifting("Y")(y))
+            for x, y in values
+        ]
+        ring = CovarianceRing()
+        a = elements[0]
+        for b in elements[1:]:
+            assert ring.mul(a, b) == ring.mul(b, a)
+
+    def test_distributivity(self):
+        ring = self.ring
+        a = moment_lifting("X")(2.0)
+        b = moment_lifting("Y")(3.0)
+        c = moment_lifting("Y")(4.0)
+        assert ring.mul(a, ring.add(b, c)) == ring.add(
+            ring.mul(a, b), ring.mul(a, c)
+        )
+
+    def test_associativity_three_variables(self):
+        ring = self.ring
+        a = moment_lifting("X")(2.0)
+        b = moment_lifting("Y")(3.0)
+        c = moment_lifting("Z")(4.0)
+        left = ring.mul(ring.mul(a, b), c)
+        right = ring.mul(a, ring.mul(b, c))
+        assert left == right
+
+
+class TestLiftingMap:
+    def test_default_is_count(self):
+        lifting = LiftingMap(Z)
+        assert lifting.for_variable("X")(42) == 1
+        assert lifting.is_trivial("X")
+
+    def test_identity_lifting(self):
+        lifting = LiftingMap(Z, {"X": identity_lifting(Z)})
+        assert lifting.for_variable("X")(42) == 42
+        assert lifting.for_variable("Y")(42) == 1
+        assert not lifting.is_trivial("X")
+        assert lifting.is_trivial("Y")
+
+    def test_with_variable_copies(self):
+        base = LiftingMap(Z)
+        extended = base.with_variable("X", identity_lifting(Z))
+        assert base.is_trivial("X")
+        assert not extended.is_trivial("X")
+
+    def test_count_lifting_uses_ring_one(self):
+        lift = count_lifting(MIN_PLUS)
+        assert lift("anything") == 0.0  # min-plus one

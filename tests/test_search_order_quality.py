@@ -1,0 +1,72 @@
+"""Quality of the searched variable orders: the optimizer finds the
+known-optimal shapes on reference queries."""
+
+from repro.query import (
+    canonical_order,
+    order_for,
+    parse_query,
+    search_order,
+)
+
+
+class TestKnownOptima:
+    def test_path_query_gets_dep_one(self):
+        """A chain order with |dep| = 1 exists for any path join."""
+        for length in range(2, 6):
+            atoms = " * ".join(
+                f"R{i}(V{i}, V{i+1})" for i in range(length)
+            )
+            variables = ", ".join(f"V{i}" for i in range(length + 1))
+            q = parse_query(f"Q({variables}) = {atoms}")
+            assert search_order(q).max_dependency_size() == 1
+
+    def test_star_query_gets_dep_one(self):
+        q = parse_query(
+            "Q(H, A, B, C) = R(H, A) * S(H, B) * T(H, C)"
+        )
+        assert search_order(q).max_dependency_size() == 1
+
+    def test_triangle_needs_dep_two(self):
+        # No tree order does better than |dep| = 2 on a cyclic query.
+        q = parse_query("Q() = R(A,B) * S(B,C) * T(C,A)")
+        assert search_order(q).max_dependency_size() == 2
+
+    def test_four_cycle_needs_dep_two(self):
+        q = parse_query("Q() = R(A,B) * S(B,C) * T(C,D) * U(D,A)")
+        assert search_order(q).max_dependency_size() == 2
+
+    def test_clique_four_needs_dep_three(self):
+        q = parse_query(
+            "Q() = R1(A,B) * R2(B,C) * R3(C,D) * R4(A,C) * R5(B,D) * R6(A,D)"
+        )
+        assert search_order(q).max_dependency_size() == 3
+
+    def test_hierarchical_search_matches_canonical(self):
+        for text in (
+            "Q(Y,X,Z) = R(Y,X) * S(Y,Z)",
+            "Q(A,B,C) = R(A,B) * S(B,C)",
+            "Q(A) = R(A, B) * S(B)",
+        ):
+            q = parse_query(text)
+            assert (
+                search_order(q).max_dependency_size()
+                == canonical_order(q).max_dependency_size()
+            )
+
+    def test_free_top_constraint_can_cost_dependency(self):
+        """Forcing free variables to the top may enlarge dependencies —
+        the price of enumerability."""
+        q = parse_query("Q(D) = R(A, B) * S(B, C) * T(C, D)")
+        unconstrained = search_order(q, prefer_free_top=False)
+        forced = search_order(q, require_free_top=True)
+        assert forced.is_free_top()
+        assert forced.max_dependency_size() >= unconstrained.max_dependency_size()
+
+    def test_order_for_never_fails_on_connected_queries(self):
+        for text in (
+            "Q() = R(A,B,C) * S(C,D) * T(D,A)",
+            "Q(A) = R(A,B) * S(B,C) * T(A,C)",
+            "Q(A, E) = R(A,B) * S(B,C) * T(C,D) * U(D,E)",
+        ):
+            order = order_for(parse_query(text))
+            assert order.max_dependency_size() >= 1

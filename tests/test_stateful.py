@@ -1,0 +1,136 @@
+"""Stateful property-based tests (hypothesis state machines).
+
+Long random interleavings of operations against reference models:
+
+* :class:`RelationMachine` — Relation + GroupIndex vs a plain dict;
+* :class:`TriangleMachine` — TriangleCounter vs naive recount;
+* :class:`ViewTreeMachine` — ViewTreeEngine vs the naive evaluator,
+  with validity-preserving updates.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.data import Database, Relation, Update
+from repro.ivme import TriangleCounter
+from repro.naive import evaluate, evaluate_scalar
+from repro.query import parse_query
+from repro.viewtree import ViewTreeEngine
+
+KEYS = st.tuples(st.integers(0, 3), st.integers(0, 3))
+
+
+class RelationMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.relation = Relation("R", ("A", "B"))
+        self.relation.index_on(("A",))
+        self.model: dict[tuple, int] = {}
+
+    @rule(key=KEYS, payload=st.integers(-3, 3))
+    def add(self, key, payload):
+        self.relation.add(key, payload)
+        value = self.model.get(key, 0) + payload
+        if value:
+            self.model[key] = value
+        else:
+            self.model.pop(key, None)
+
+    @rule(key=KEYS, payload=st.integers(-3, 3))
+    def set(self, key, payload):
+        self.relation.set(key, payload)
+        if payload:
+            self.model[key] = payload
+        else:
+            self.model.pop(key, None)
+
+    @invariant()
+    def data_matches(self):
+        assert self.relation.to_dict() == self.model
+
+    @invariant()
+    def index_matches(self):
+        for a in range(4):
+            expected = sorted(k for k in self.model if k[0] == a)
+            assert sorted(self.relation.group(("A",), (a,))) == expected
+
+
+class TriangleMachine(RuleBasedStateMachine):
+    TRIANGLE = parse_query("Q() = R(A,B) * S(B,C) * T(C,A)")
+
+    def __init__(self):
+        super().__init__()
+        self.counter = TriangleCounter(epsilon=0.5)
+        self.db = Database()
+        for name in ("R", "S", "T"):
+            self.db.create(name, ("X", "Y"))
+
+    @rule(
+        relation=st.sampled_from(["R", "S", "T"]),
+        key=KEYS,
+        payload=st.integers(-2, 2).filter(bool),
+    )
+    def update(self, relation, key, payload):
+        self.counter.apply(Update(relation, key, payload))
+        self.db[relation].add(key, payload)
+
+    @rule()
+    def rebalance(self):
+        self.counter.rebalance()
+
+    @invariant()
+    def count_matches(self):
+        assert self.counter.count == evaluate_scalar(self.TRIANGLE, self.db)
+
+
+class ViewTreeMachine(RuleBasedStateMachine):
+    QUERY = parse_query("Q(Y, X, Z) = R(Y, X) * S(Y, Z)")
+
+    def __init__(self):
+        super().__init__()
+        self.db = Database()
+        self.db.create("R", ("Y", "X"))
+        self.db.create("S", ("Y", "Z"))
+        self.engine = ViewTreeEngine(self.QUERY, self.db)
+        self.live: dict[tuple[str, tuple], int] = {}
+
+    @rule(relation=st.sampled_from(["R", "S"]), key=KEYS)
+    def insert(self, relation, key):
+        self.engine.apply(Update(relation, key, 1))
+        self.live[(relation, key)] = self.live.get((relation, key), 0) + 1
+
+    @precondition(lambda self: bool(self.live))
+    @rule(data=st.data())
+    def delete_existing(self, data):
+        relation, key = data.draw(
+            st.sampled_from(sorted(self.live, key=repr))
+        )
+        self.engine.apply(Update(relation, key, -1))
+        self.live[(relation, key)] -= 1
+        if not self.live[(relation, key)]:
+            del self.live[(relation, key)]
+
+    @invariant()
+    def output_matches_naive(self):
+        assert self.engine.output_relation() == evaluate(self.QUERY, self.db)
+
+
+TestRelationMachine = RelationMachine.TestCase
+TestRelationMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestTriangleMachine = TriangleMachine.TestCase
+TestTriangleMachine.settings = settings(
+    max_examples=15, stateful_step_count=25, deadline=None
+)
+TestViewTreeMachine = ViewTreeMachine.TestCase
+TestViewTreeMachine.settings = settings(
+    max_examples=15, stateful_step_count=25, deadline=None
+)

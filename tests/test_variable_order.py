@@ -1,0 +1,185 @@
+"""Variable orders: canonical construction, search, validation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.query import (
+    Atom,
+    InvalidVariableOrder,
+    Query,
+    VarOrderNode,
+    canonical_order,
+    order_for,
+    parse_query,
+    search_order,
+    validate_order,
+)
+
+FIG3 = parse_query("Q(Y,X,Z) = R(Y,X) * S(Y,Z)")
+TRIANGLE = parse_query("Q() = R(A,B) * S(B,C) * T(C,A)")
+PATH3 = parse_query("Q(A,B,C,D) = R(A,B) * S(B,C) * T(C,D)")
+
+
+class TestCanonicalOrder:
+    def test_fig3_structure(self):
+        """Fig. 3's view tree: Y at the root, X and Z as children."""
+        order = canonical_order(FIG3)
+        assert len(order.roots) == 1
+        root = order.roots[0]
+        assert root.variable == "Y"
+        assert sorted(c.variable for c in root.children) == ["X", "Z"]
+        for child in root.children:
+            assert child.dependency == ("Y",)
+            assert len(child.atoms) == 1
+
+    def test_dependency_sets(self):
+        order = canonical_order(FIG3)
+        assert order.node_of("Y").dependency == ()
+        assert order.node_of("X").dependency == ("Y",)
+
+    def test_free_top_for_q_hierarchical(self):
+        assert canonical_order(FIG3).is_free_top()
+        q2 = parse_query("Q(A,B,C) = R(A,B) * S(B,C)")
+        assert canonical_order(q2).is_free_top()
+
+    def test_not_free_top_when_projection_breaks_q(self):
+        q = FIG3.with_head(("X",))
+        assert not canonical_order(q).is_free_top()
+
+    def test_non_hierarchical_rejected(self):
+        with pytest.raises(InvalidVariableOrder):
+            canonical_order(PATH3)
+
+    def test_equal_atom_set_variables_form_chain(self):
+        q = parse_query("Q(A, B) = R(A, B, C)")
+        order = canonical_order(q)
+        # A, B, C all occur in the single atom: one chain of three nodes.
+        assert len(order.roots) == 1
+        depth = 0
+        node = order.roots[0]
+        while node.children:
+            assert len(node.children) == 1
+            node = node.children[0]
+            depth += 1
+        assert depth == 2
+        # Free variables come first in the chain.
+        assert order.roots[0].variable in ("A", "B")
+
+    def test_disconnected_components_give_forest(self):
+        q = parse_query("Q(A, C) = R(A) * S(C)")
+        order = canonical_order(q)
+        assert len(order.roots) == 2
+
+    def test_anchor_of(self):
+        order = canonical_order(FIG3)
+        atom_r = FIG3.atom_for_relation("R")
+        assert order.anchor_of(atom_r).variable == "X"
+
+    def test_path_to_root(self):
+        order = canonical_order(FIG3)
+        assert order.path_to_root("X") == ["X", "Y"]
+
+
+class TestSearchOrder:
+    def test_path_query_gets_valid_order(self):
+        order = search_order(PATH3)
+        assert order.is_free_top()
+        assert {n.variable for n in order.walk()} == {"A", "B", "C", "D"}
+
+    def test_triangle_gets_order_with_large_dependency(self):
+        order = search_order(TRIANGLE)
+        # Cyclic queries cannot avoid a dependency set of size 2.
+        assert order.max_dependency_size() == 2
+
+    def test_search_equals_canonical_quality_for_hierarchical(self):
+        searched = search_order(FIG3)
+        canonical = canonical_order(FIG3)
+        assert searched.max_dependency_size() == canonical.max_dependency_size()
+
+    def test_require_free_top(self):
+        q = parse_query("Q(A) = R(A, B) * S(B)")
+        order = search_order(q, require_free_top=True)
+        assert order.is_free_top()
+        assert order.roots[0].variable == "A"
+
+    def test_order_for_dispatches(self):
+        assert order_for(FIG3).roots[0].variable == "Y"
+        assert order_for(PATH3) is not None
+
+    def test_boolean_triangle_order_valid(self):
+        order = search_order(TRIANGLE)
+        # every atom anchored, all variables present
+        anchored = [a for n in order.walk() for a in n.atoms]
+        assert len(anchored) == 3
+
+
+class TestValidation:
+    def test_missing_variable(self):
+        root = VarOrderNode("Y", atoms=[])
+        with pytest.raises(InvalidVariableOrder):
+            validate_order(FIG3, [root])
+
+    def test_repeated_variable(self):
+        a = VarOrderNode("Y")
+        b = VarOrderNode("Y")
+        a.children.append(b)
+        with pytest.raises(InvalidVariableOrder):
+            validate_order(FIG3, [a])
+
+    def test_atom_off_path(self):
+        # Put R(Y,X) under Z's branch: invalid.
+        y = VarOrderNode("Y")
+        x = VarOrderNode("X")
+        z = VarOrderNode("Z", atoms=[FIG3.atom_for_relation("R"),
+                                     FIG3.atom_for_relation("S")])
+        y.children.extend([x, z])
+        with pytest.raises(InvalidVariableOrder):
+            validate_order(FIG3, [y])
+
+    def test_atom_not_anchored(self):
+        y = VarOrderNode("Y")
+        x = VarOrderNode("X", atoms=[FIG3.atom_for_relation("R")])
+        z = VarOrderNode("Z")
+        y.children.extend([x, z])
+        with pytest.raises(InvalidVariableOrder):
+            validate_order(FIG3, [y])
+
+    def test_render_contains_structure(self):
+        text = canonical_order(FIG3).render()
+        assert "Y" in text and "dep: Y" in text
+
+
+@st.composite
+def random_acyclic_query(draw):
+    """A random path/star-shaped query (always admits a variable order)."""
+    n_atoms = draw(st.integers(1, 4))
+    shape = draw(st.sampled_from(["path", "star"]))
+    atoms = []
+    if shape == "path":
+        for i in range(n_atoms):
+            atoms.append(Atom(f"R{i}", (f"V{i}", f"V{i+1}")))
+        variables = [f"V{i}" for i in range(n_atoms + 1)]
+    else:
+        for i in range(n_atoms):
+            atoms.append(Atom(f"R{i}", ("V0", f"V{i+1}")))
+        variables = ["V0"] + [f"V{i+1}" for i in range(n_atoms)]
+    n_free = draw(st.integers(0, len(variables)))
+    head = tuple(variables[:n_free])
+    return Query("Qr", head, tuple(atoms))
+
+
+class TestSearchOrderProperties:
+    @given(random_acyclic_query())
+    @settings(max_examples=60, deadline=None)
+    def test_search_always_yields_valid_order(self, q):
+        order = search_order(q)
+        seen = {n.variable for n in order.walk()}
+        assert seen == set(q.variables())
+        anchored = [a for n in order.walk() for a in n.atoms]
+        assert len(anchored) == len(q.atoms)
+
+    @given(random_acyclic_query())
+    @settings(max_examples=60, deadline=None)
+    def test_require_free_top_is_respected(self, q):
+        order = search_order(q, require_free_top=True)
+        assert order.is_free_top()

@@ -1,0 +1,254 @@
+"""View-tree engine: construction, maintenance, enumeration, and the
+complexity contract of Theorem 4.1 (asserted via operation counts)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import Database, Update, counting
+from repro.naive import evaluate, evaluate_scalar
+from repro.query import canonical_order, parse_query, search_order
+from repro.rings import Z, LiftingMap, identity_lifting
+from repro.viewtree import ViewTreeEngine
+
+FIG3 = parse_query("Q(Y, X, Z) = R(Y, X) * S(Y, Z)")
+
+
+def seeded_db(schemas, rng, rows=120, domain=12):
+    db = Database()
+    for name, schema in schemas:
+        rel = db.create(name, schema)
+        for _ in range(rows):
+            rel.insert(*(rng.randrange(domain) for _ in schema))
+    return db
+
+
+class TestConstruction:
+    def test_leaves_are_copies(self, rng):
+        db = seeded_db([("R", ("Y", "X")), ("S", ("Y", "Z"))], rng)
+        engine = ViewTreeEngine(FIG3, db)
+        # Mutating the base relation behind the engine's back leaves the
+        # tree stale (leaves are copies): pick a Y value that joins.
+        some_y = next(iter(db["S"].keys()))[0]
+        db["R"].insert(some_y, 999)
+        assert engine.output_relation() != evaluate(FIG3, db)
+
+    def test_guard_only_when_multiple_sources(self, rng):
+        db = seeded_db([("R", ("Y", "X")), ("S", ("Y", "Z"))], rng)
+        engine = ViewTreeEngine(FIG3, db)
+        root = engine.roots[0]
+        assert root.guard is not None  # two child views meet at Y
+        for child in root.children:
+            assert child.guard is None  # single anchored leaf
+
+    def test_describe_renders(self, rng):
+        db = seeded_db([("R", ("Y", "X")), ("S", ("Y", "Z"))], rng)
+        text = ViewTreeEngine(FIG3, db).describe()
+        assert "V_Y" in text and "leaf R(Y, X)" in text
+
+    def test_total_view_size_positive(self, rng):
+        db = seeded_db([("R", ("Y", "X")), ("S", ("Y", "Z"))], rng)
+        assert ViewTreeEngine(FIG3, db).total_view_size() > 0
+
+    def test_arity_mismatch_raises(self):
+        db = Database()
+        db.create("R", ("A",))
+        db.create("S", ("Y", "Z"))
+        with pytest.raises(ValueError):
+            ViewTreeEngine(FIG3, db)
+
+    def test_order_for_other_query_rejected(self, rng):
+        db = seeded_db([("R", ("Y", "X")), ("S", ("Y", "Z"))], rng)
+        other = parse_query("P(A) = U(A, B) * V(B)")
+        order = search_order(other)
+        with pytest.raises(ValueError):
+            ViewTreeEngine(FIG3, db, order)
+
+
+class TestMaintenance:
+    QUERIES = [
+        ("Q(Y, X, Z) = R(Y, X) * S(Y, Z)", [("R", ("Y", "X")), ("S", ("Y", "Z"))]),
+        ("Q(A, B, C) = R(A, B) * S(B, C)", [("R", ("A", "B")), ("S", ("B", "C"))]),
+        (
+            "Q(A) = R(A, B) * S(B, C) * T(C, D)",
+            [("R", ("A", "B")), ("S", ("B", "C")), ("T", ("C", "D"))],
+        ),
+        (
+            "Q() = R(A,B) * S(B,C) * T(C,A)",
+            [("R", ("A", "B")), ("S", ("B", "C")), ("T", ("C", "A"))],
+        ),
+    ]
+
+    @pytest.mark.parametrize("text,schemas", QUERIES)
+    def test_differential_against_naive(self, text, schemas, rng):
+        from tests.conftest import valid_stream
+
+        query = parse_query(text)
+        db = seeded_db(schemas, rng, rows=80, domain=8)
+        order = None
+        if not query.head:
+            order = search_order(query, prefer_free_top=False)
+        engine = ViewTreeEngine(query, db, order)
+        stream = valid_stream(
+            rng, {name: len(schema) for name, schema in schemas}, 300
+        )
+        for step, update in enumerate(stream):
+            engine.apply(update)
+            if step % 75 == 74:
+                if query.head:
+                    assert engine.output_relation() == evaluate(query, db)
+                else:
+                    assert engine.scalar() == evaluate_scalar(query, db)
+
+    def test_update_base_false_leaves_database(self, rng):
+        db = seeded_db([("R", ("Y", "X")), ("S", ("Y", "Z"))], rng)
+        engine = ViewTreeEngine(FIG3, db)
+        size = len(db["R"])
+        engine.apply(Update("R", (50, 51), 1), update_base=False)
+        assert len(db["R"]) == size
+
+    def test_self_join_within_one_tree(self, rng):
+        from tests.conftest import valid_stream
+
+        q = parse_query("Q(A, B, C) = E(A, B) * E(B, C)")
+        db = Database()
+        db.create("E", ("A", "B"))
+        order = search_order(q, require_free_top=True)
+        engine = ViewTreeEngine(q, db, order)
+        for update in valid_stream(rng, {"E": 2}, 200, domain=6):
+            engine.apply(update)
+        assert engine.output_relation() == evaluate(q, db)
+
+    def test_lifted_aggregate_maintenance(self, rng):
+        q = parse_query("Q(A) = R(A, V) * S(A)")
+        db = Database()
+        db.create("R", ("A", "V"))
+        db.create("S", ("A",))
+        lifting = LiftingMap(Z, {"V": identity_lifting(Z)})
+        engine = ViewTreeEngine(q, db, lifting=lifting)
+        for _ in range(120):
+            if rng.random() < 0.7:
+                engine.apply(Update("R", (rng.randrange(5), rng.randrange(1, 9)), 1))
+            else:
+                engine.apply(Update("S", (rng.randrange(5),), rng.choice([1, -1])))
+        assert engine.output_relation() == evaluate(q, db, lifting)
+
+    @given(st.integers(0, 100_000))
+    @settings(max_examples=25, deadline=None)
+    def test_insert_then_inverse_restores_views(self, seed):
+        local = random.Random(seed)
+        db = Database()
+        db.create("R", ("Y", "X"))
+        db.create("S", ("Y", "Z"))
+        engine = ViewTreeEngine(FIG3, db)
+        updates = [
+            Update(
+                local.choice(["R", "S"]),
+                (local.randrange(4), local.randrange(4)),
+                1,
+            )
+            for _ in range(20)
+        ]
+        for update in updates:
+            engine.apply(update)
+        for update in reversed(updates):
+            engine.apply(Update(update.relation, update.key, -1))
+        assert len(engine.output_relation()) == 0
+        for root in engine.roots:
+            for node in root.walk():
+                assert len(node.view) == 0
+
+
+class TestEnumeration:
+    def test_prebound_lookup(self, rng):
+        db = seeded_db([("R", ("Y", "X")), ("S", ("Y", "Z"))], rng)
+        engine = ViewTreeEngine(FIG3, db)
+        full = dict(engine.enumerate())
+        some_y = next(iter(full))[0]
+        filtered = dict(engine.enumerate(prebound={"Y": some_y}))
+        assert filtered == {k: v for k, v in full.items() if k[0] == some_y}
+
+    def test_prebound_missing_value(self, rng):
+        db = seeded_db([("R", ("Y", "X")), ("S", ("Y", "Z"))], rng)
+        engine = ViewTreeEngine(FIG3, db)
+        assert dict(engine.enumerate(prebound={"Y": "nope"})) == {}
+
+    def test_non_free_top_enumeration_raises(self, rng):
+        q = FIG3.with_head(("X",))
+        db = seeded_db([("R", ("Y", "X")), ("S", ("Y", "Z"))], rng)
+        engine = ViewTreeEngine(q, db, canonical_order(q))
+        with pytest.raises(ValueError):
+            list(engine.enumerate())
+
+    def test_boolean_enumerate_yields_scalar(self, rng):
+        q = parse_query("Q() = R(A) * S(A)")
+        db = Database()
+        db.create("R", ("A",)).insert(1)
+        db.create("S", ("A",)).insert(1)
+        engine = ViewTreeEngine(q, db)
+        assert list(engine.enumerate()) == [((), 1)]
+
+    def test_empty_output(self):
+        db = Database()
+        db.create("R", ("Y", "X"))
+        db.create("S", ("Y", "Z"))
+        engine = ViewTreeEngine(FIG3, db)
+        assert list(engine.enumerate()) == []
+
+
+class TestTheorem41Complexity:
+    """Operation-count checks for the q-hierarchical upper bounds."""
+
+    def _engine_of_size(self, n, seed=0):
+        local = random.Random(seed)
+        db = Database()
+        r = db.create("R", ("Y", "X"))
+        s = db.create("S", ("Y", "Z"))
+        for _ in range(n):
+            r.insert(local.randrange(n), local.randrange(n))
+            s.insert(local.randrange(n), local.randrange(n))
+        return ViewTreeEngine(FIG3, db), local
+
+    def test_single_tuple_update_is_constant(self):
+        """Update cost does not grow with N for q-hierarchical queries."""
+        costs = []
+        for n in (100, 400, 1600):
+            engine, local = self._engine_of_size(n)
+            with counting() as ops:
+                for _ in range(20):
+                    engine.apply(
+                        Update("R", (local.randrange(n), local.randrange(n)), 1)
+                    )
+            costs.append(ops.total() / 20)
+        assert costs[-1] <= costs[0] * 2 + 10  # flat, modulo noise
+
+    def test_enumeration_delay_is_constant(self):
+        """Total enumeration ops scale linearly with the output size."""
+        ratios = []
+        for n in (200, 800):
+            engine, _ = self._engine_of_size(n)
+            out_size = sum(1 for _ in engine.enumerate())
+            with counting() as ops:
+                for _ in engine.enumerate():
+                    pass
+            ratios.append(ops.total() / max(out_size, 1))
+        assert ratios[-1] <= ratios[0] * 2 + 10
+
+    def test_non_q_hierarchical_updates_grow(self):
+        """For Q(A) = R(A,B) * S(B) under a free-top order, S-updates on a
+        heavy B value must touch O(N) entries — the flip side of the
+        dichotomy."""
+        q = parse_query("Q(A) = R(A, B) * S(B)")
+        costs = []
+        for n in (100, 400):
+            db = Database()
+            r = db.create("R", ("A", "B"))
+            s = db.create("S", ("B",))
+            for a in range(n):
+                r.insert(a, 0)  # B = 0 is heavy
+            engine = ViewTreeEngine(q, db, search_order(q, require_free_top=True))
+            with counting() as ops:
+                engine.apply(Update("S", (0,), 1))
+            costs.append(ops.total())
+        assert costs[1] > costs[0] * 2  # grows linearly with N

@@ -1,0 +1,181 @@
+"""Workload generators: shape and invariant checks."""
+
+import pytest
+
+from repro.constraints import sigma_reduct
+from repro.naive import evaluate
+from repro.query import is_hierarchical, is_q_hierarchical
+from repro.workloads import (
+    classify_tpch,
+    fd_impact,
+    job_star_counter,
+    random_edges,
+    random_workload,
+    retailer_database,
+    retailer_fd_database,
+    retailer_fd_query,
+    retailer_query,
+    retailer_update_stream,
+    sliding_window_stream,
+    tpch_queries,
+    triangle_insert_stream,
+    valid_insert_batch,
+    zipf_edges,
+)
+
+
+class TestRetailer:
+    def test_query_is_q_hierarchical(self):
+        assert is_q_hierarchical(retailer_query())
+
+    def test_database_matches_query_schema(self):
+        db = retailer_database(locations=5, dates=5, items=10, inventory_rows=50)
+        q = retailer_query()
+        out = evaluate(q, db)  # must not raise; schema names line up
+        assert len(out) > 0
+
+    def test_update_stream_targets_query_relations(self):
+        q = retailer_query()
+        names = set(q.relation_names())
+        stream = retailer_update_stream(200, seed=4)
+        assert {u.relation for u in stream} <= names
+        assert all(u.payload == 1 for u in stream)
+
+    def test_update_stream_deletes_previous_inserts(self):
+        stream = retailer_update_stream(300, seed=5, delete_fraction=0.3)
+        deletes = [u for u in stream if u.payload < 0]
+        assert deletes
+        inserted = {(u.relation, u.key) for u in stream if u.payload > 0}
+        for delete in deletes:
+            assert (delete.relation, delete.key) in inserted
+
+    def test_fd_query_properties(self):
+        q, fds = retailer_fd_query()
+        assert not is_hierarchical(q)
+        assert is_hierarchical(sigma_reduct(q, fds))
+
+    def test_fd_database_satisfies_fd(self):
+        db = retailer_fd_database(seed=7)
+        zip_to_locn = {}
+        for locn, z in db["Location"].keys():
+            assert zip_to_locn.setdefault(z, locn) == locn
+
+    def test_determinism(self):
+        a = retailer_update_stream(50, seed=9)
+        b = retailer_update_stream(50, seed=9)
+        assert a == b
+
+
+class TestTPCH:
+    def test_twenty_two_queries(self):
+        queries = tpch_queries()
+        assert len(queries) == 22
+        assert [q.name for q in queries] == [f"Q{i}" for i in range(1, 23)]
+
+    def test_self_join_free(self):
+        for item in tpch_queries():
+            assert item.query.is_self_join_free(), item.name
+
+    def test_classification_shape(self):
+        """Paper: a majority of skeletons hierarchical, +4/+4 under FDs."""
+        study = classify_tpch()
+        rows = study.summary_rows()
+        assert rows[0][0] == "Boolean" and rows[1][0] == "non-Boolean"
+        # FDs strictly help, by exactly 4 on these skeletons.
+        assert len(study.fd_gain_boolean) == 4
+        assert len(study.fd_gain_non_boolean) == 4
+        assert rows[0][1] >= 8
+        assert rows[1][1] >= 8
+
+    def test_q3_needs_fds(self):
+        q3 = next(q for q in tpch_queries() if q.name == "Q3")
+        assert not is_hierarchical(q3.query)
+        assert is_hierarchical(sigma_reduct(q3.query, q3.fds))
+
+
+class TestJOB:
+    def test_valid_batch_ends_consistent(self):
+        counter = job_star_counter()
+        counter.apply_batch(valid_insert_batch(8, 6, 50, seed=1))
+        assert counter.is_consistent()
+        assert counter.count == 50  # every fact joins exactly once
+
+    def test_out_of_order_equals_in_order(self):
+        in_order = valid_insert_batch(8, 6, 50, seed=2, out_of_order=False)
+        shuffled = valid_insert_batch(8, 6, 50, seed=2, out_of_order=True)
+        assert sorted(map(repr, in_order)) == sorted(map(repr, shuffled))
+
+        a = job_star_counter()
+        a.apply_batch(in_order)
+        b = job_star_counter()
+        b.apply_batch(shuffled)
+        assert a.count == b.count
+
+
+class TestGraphs:
+    def test_random_edges_distinct(self):
+        edges = random_edges(20, 100, seed=3)
+        assert len(edges) == len(set(edges)) == 100
+        assert all(a != b for a, b in edges)
+
+    def test_zipf_skew(self):
+        edges = zipf_edges(200, 400, skew=1.3, seed=3)
+        degree = {}
+        for a, _b in edges:
+            degree[a] = degree.get(a, 0) + 1
+        top = max(degree.values())
+        average = len(edges) / len(degree)
+        assert top > 4 * average  # hubs exist
+
+    def test_triangle_insert_stream_feeds_three_relations(self):
+        stream = list(triangle_insert_stream([(1, 2), (3, 4)]))
+        assert len(stream) == 6
+        assert {u.relation for u in stream} == {"R", "S", "T"}
+
+    def test_sliding_window_deletes_oldest(self):
+        edges = [(i, i + 1) for i in range(5)]
+        stream = list(sliding_window_stream(edges, window=2))
+        deletes = [u for u in stream if u.payload < 0]
+        assert deletes
+        assert deletes[0].key == (0, 1)
+
+    def test_window_net_content(self):
+        edges = [(i, i + 1) for i in range(6)]
+        net = {}
+        for update in sliding_window_stream(edges, window=3):
+            if update.relation != "R":
+                continue
+            net[update.key] = net.get(update.key, 0) + update.payload
+        live = {k for k, v in net.items() if v > 0}
+        assert live == {(3, 4), (4, 5), (5, 6)}
+
+
+class TestSyntheticWorkload:
+    def test_reproducible(self):
+        assert [w.query.name for w in random_workload(10, seed=1)] == [
+            w.query.name for w in random_workload(10, seed=1)
+        ]
+
+    def test_fd_impact_shape(self):
+        """The RelationalAI observation: a large share of the initially
+        non-q-hierarchical queries flips under FDs (76% in the paper's
+        project; we assert a majority on the synthetic workload)."""
+        impact = fd_impact(random_workload(400, seed=11))
+        assert impact.total == 400
+        assert impact.q_hierarchical_with_fds > impact.q_hierarchical_plain
+        assert impact.flipped_fraction > 0.5
+
+    def test_fds_match_chain_hops(self):
+        for item in random_workload(50, seed=3):
+            depth = len(item.query.atoms) - 1  # Fact + Dim1..Dim_depth
+            for fd in item.fds:
+                # Each FD k_{i-1} -> k_i corresponds to a real hop.
+                i = int(fd.dependent[1:])
+                assert 1 <= i <= depth
+                assert fd.determinant == (f"k{i-1}",)
+            # At most one hop (the many-to-many bridge) lacks an FD.
+            assert len(item.fds) >= depth - 1
+
+    def test_non_flipping_residue_exists(self):
+        impact = fd_impact(random_workload(400, seed=11))
+        assert impact.q_hierarchical_with_fds < impact.total
