@@ -7,10 +7,14 @@ diff against EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
 import math
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
+
+from ..obs import MaintenanceStats, observed_enumeration
 
 
 def time_call(operation: Callable[[], Any]) -> tuple[float, Any]:
@@ -32,8 +36,25 @@ class ThroughputResult:
 
     @property
     def throughput(self) -> float:
-        """Updates processed per second (including enumeration time)."""
-        return self.updates / self.seconds if self.seconds else math.inf
+        """Updates processed per second (including enumeration time).
+
+        Guarded against degenerate zero-duration runs (empty update
+        streams, timer resolution): those report 0.0 rather than ``inf``,
+        which would otherwise leak into tables and growth fits.
+        """
+        if self.seconds <= 0.0:
+            return 0.0
+        return self.updates / self.seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "strategy": self.strategy,
+            "updates": self.updates,
+            "enumerations": self.enumerations,
+            "seconds": self.seconds,
+            "tuples_enumerated": self.tuples_enumerated,
+            "throughput": self.throughput,
+        }
 
 
 def run_throughput(
@@ -44,29 +65,56 @@ def run_throughput(
     batch_size: int,
     enum_interval: int,
     time_budget: float | None = None,
+    stats: MaintenanceStats | None = None,
 ) -> ThroughputResult:
     """Replay the Fig. 4 protocol: apply update batches; after every
     ``enum_interval`` batches issue a full enumeration request.
 
     ``time_budget`` (seconds) mirrors the paper's 50-hour cutoff: a run
     exceeding it stops early and reports the throughput achieved so far.
+    The budget is checked both before and after each enumeration pass, so
+    a slow ``enumerate_all`` can overshoot it by at most one pass rather
+    than being entered with the budget already spent.
+
+    ``stats`` optionally records the run into a
+    :class:`~repro.obs.MaintenanceStats`: per-update latency samples and
+    per-tuple enumeration delays (this adds two clock reads per update,
+    so leave it off for pure throughput numbers).
     """
     start = time.perf_counter()
     applied = 0
     enumerations = 0
     tuples_seen = 0
     batch_index = 0
+    over_budget = (
+        (lambda: time.perf_counter() - start > time_budget)
+        if time_budget is not None
+        else (lambda: False)
+    )
     for offset in range(0, len(updates), batch_size):
-        for update in updates[offset : offset + batch_size]:
-            apply_update(update)
-            applied += 1
+        if stats is None:
+            for update in updates[offset : offset + batch_size]:
+                apply_update(update)
+                applied += 1
+        else:
+            for update in updates[offset : offset + batch_size]:
+                update_start = time.perf_counter()
+                apply_update(update)
+                stats.record_update(time.perf_counter() - update_start)
+                applied += 1
         batch_index += 1
+        if over_budget():
+            break
         if enum_interval and batch_index % enum_interval == 0:
             enumerations += 1
-            for _ in enumerate_all():
-                tuples_seen += 1
-        if time_budget is not None and time.perf_counter() - start > time_budget:
-            break
+            if stats is None:
+                for _ in enumerate_all():
+                    tuples_seen += 1
+            else:
+                for _ in observed_enumeration(stats, enumerate_all()):
+                    tuples_seen += 1
+            if over_budget():
+                break
     seconds = time.perf_counter() - start
     return ThroughputResult(
         strategy_name, applied, enumerations, seconds, tuples_seen
@@ -137,3 +185,77 @@ def growth_exponent(xs: Sequence[float], ys: Sequence[float]) -> float:
     if denominator == 0:
         return float("nan")
     return (n * sxy - sx * sy) / denominator
+
+
+# ----------------------------------------------------------------------
+# Machine-readable export (the ``repro.bench/1`` JSON contract)
+# ----------------------------------------------------------------------
+
+#: Version tag of the benchmark JSON payload; bump only on breaking change.
+BENCH_SCHEMA = "repro.bench/1"
+
+
+def table_record(table: Table) -> dict:
+    """One table as a JSON-able record with a per-column ``series`` view.
+
+    ``series`` maps each column name to the list of its values down the
+    rows — the shape plotting scripts want — while ``rows`` preserves the
+    row-major table for diffing against the text rendering.
+    """
+    columns = [str(column) for column in table.columns]
+    rows = [list(row) for row in table.rows]
+    series = {
+        column: [row[i] if i < len(row) else None for row in rows]
+        for i, column in enumerate(columns)
+    }
+    return {
+        "title": table.title,
+        "columns": columns,
+        "rows": rows,
+        "series": series,
+    }
+
+
+def bench_record(
+    name: str,
+    tables: Table | Sequence[Table],
+    stats: MaintenanceStats | None = None,
+    meta: dict[str, Any] | None = None,
+) -> dict:
+    """The full JSON document for one benchmark run."""
+    if isinstance(tables, Table):
+        tables = [tables]
+    records = [table_record(table) for table in tables]
+    record: dict[str, Any] = {
+        "schema": BENCH_SCHEMA,
+        "name": name,
+        "meta": dict(meta or {}),
+        "tables": records,
+        # Convenience: the first table's series at top level, which is
+        # what single-table benches (the common case) read back.
+        "series": records[0]["series"] if records else {},
+    }
+    if stats is not None:
+        record["stats"] = stats.to_dict()
+    return record
+
+
+def write_bench_json(
+    directory: str,
+    name: str,
+    tables: Table | Sequence[Table],
+    stats: MaintenanceStats | None = None,
+    meta: dict[str, Any] | None = None,
+) -> str:
+    """Write ``BENCH_<name>.json`` under ``directory``; returns the path.
+
+    Values that are not JSON-native (ring payloads, tuples as table
+    cells) are serialized via ``str`` so the file always parses.
+    """
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    with open(path, "w") as handle:
+        json.dump(bench_record(name, tables, stats, meta), handle,
+                  indent=2, default=str)
+        handle.write("\n")
+    return path

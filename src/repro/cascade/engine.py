@@ -26,6 +26,7 @@ from ..data.database import Database
 from ..data.relation import Relation
 from ..data.schema import Schema
 from ..data.update import Update
+from ..obs import Observable, observed, share_stats
 from ..query.ast import Query
 from ..query.properties import is_q_hierarchical
 from ..query.rewriting import rewrite_using
@@ -37,7 +38,7 @@ class StaleCascadeError(RuntimeError):
     """Q1 enumeration requested while V_Q2 is stale (condition (ii))."""
 
 
-class CascadeEngine:
+class CascadeEngine(Observable):
     """Joint maintenance of a q-hierarchical Q2 and a cascading Q1."""
 
     def __init__(
@@ -89,6 +90,11 @@ class CascadeEngine:
     # Updates
     # ------------------------------------------------------------------
 
+    def _propagate_stats(self, stats) -> None:
+        share_stats(self.q1_engine, stats)
+        share_stats(self.q2_engine, stats)
+
+    @observed
     def apply(self, update: Update) -> None:
         """O(1) per update for q-hierarchical Q2 and rewriting."""
         if update.relation in self.database:
@@ -99,6 +105,7 @@ class CascadeEngine:
         if update.relation in self._rest_relations:
             self.q1_engine.apply(update, update_base=False)
 
+    @observed
     def apply_batch(self, batch) -> None:
         for update in batch:
             self.apply(update)

@@ -23,6 +23,7 @@ from typing import Any, Iterator, Optional
 from ..core.engine import IVMEngine
 from ..data.database import Database
 from ..data.update import Update
+from ..obs import Observable, observed, share_stats
 from ..query.ast import Query
 from ..query.properties import is_q_hierarchical
 from ..query.rewriting import rewrite_using
@@ -43,7 +44,7 @@ class QueryAssignment:
         return f"{self.query.name}: {self.mode}"
 
 
-class MultiQueryEngine:
+class MultiQueryEngine(Observable):
     """Maintain a set of queries, cascading where Section 4.2 allows."""
 
     def __init__(self, queries: list[Query], database: Database):
@@ -115,6 +116,13 @@ class MultiQueryEngine:
     # Updates
     # ------------------------------------------------------------------
 
+    def _propagate_stats(self, stats) -> None:
+        for cascade in self._cascades.values():
+            share_stats(cascade, stats)
+        for engine in self._direct.values():
+            share_stats(engine, stats)
+
+    @observed
     def apply(self, update: Update) -> None:
         """Route one update to the shared base and every consumer engine."""
         if update.relation in self.database:
@@ -127,6 +135,7 @@ class MultiQueryEngine:
                 self._direct[query_name].apply(update)
             # cascade-hosts are fed through their rider's cascade above.
 
+    @observed
     def apply_batch(self, batch) -> None:
         for update in batch:
             self.apply(update)

@@ -6,10 +6,17 @@ Usage::
     python -m repro classify "Q(Z,Y,X,W) = R(X,W) * S(X,Y) * T(Y,Z)" \
         --fd "X -> Y" --fd "Y -> Z"
     python -m repro demo
+    python -m repro stats "Q(A) = R(A,B) * S(B)" --updates 2000 \
+        --json stats.json
 
 ``classify`` runs every syntactic classifier from the paper on the query
 and prints the planner's chosen strategy with its complexity guarantees —
 the Section 6 "effective guide" as a tool.
+
+``stats`` replays a synthetic workload against the planner's chosen
+engine with a :class:`repro.obs.MaintenanceStats` recorder attached and
+prints (or dumps as JSON) per-update latency, enumeration delay, delta
+sizes, and rebalance events — the observability layer as a tool.
 """
 
 from __future__ import annotations
@@ -107,6 +114,110 @@ def demo() -> int:
     return 0
 
 
+def run_stats(
+    text: str,
+    fd_texts: list[str],
+    insert_only: bool,
+    updates: int,
+    prefill: int,
+    domain: int,
+    seed: int,
+    batch: int,
+    enum_interval: int,
+    json_path: str | None,
+) -> int:
+    """Replay a synthetic workload and print/dump the stats recorder."""
+    import random
+    import time
+
+    from .constraints.fds import FunctionalDependency
+    from .core.engine import IVMEngine
+    from .data.database import Database
+    from .data.update import Update
+    from .obs import write_stats_json
+
+    query = parse_query(text)
+    fds = tuple(FunctionalDependency.parse(t) for t in fd_texts)
+    rng = random.Random(seed)
+
+    db = Database()
+    static_names = {atom.relation for atom in getattr(query, "static_atoms", ())}
+    arities: dict[str, int] = {}
+    dynamic: list[str] = []
+    for atom in query.atoms:
+        if atom.relation not in arities:
+            db.create(atom.relation, atom.variables)
+            arities[atom.relation] = len(atom.variables)
+            if atom.relation not in static_names:
+                dynamic.append(atom.relation)
+    if not dynamic:
+        print("query has no dynamic relations; nothing to replay")
+        return 1
+
+    def random_key(relation: str) -> tuple:
+        return tuple(rng.randrange(domain) for _ in range(arities[relation]))
+
+    for name in arities:
+        for _ in range(prefill):
+            db[name].add(random_key(name), 1)
+
+    plan = plan_maintenance(query, fds, insert_only)
+    engine = IVMEngine(query, db, fds, insert_only, plan=plan)
+    stats = engine.attach_stats()
+    deletes_ok = not insert_only and plan.strategy != "insert-only"
+    can_enumerate = not query.input_variables
+
+    # A valid update stream: deletes only retract still-live insertions,
+    # so multiplicities stay non-negative and enumeration stays sound.
+    live: dict[str, list[tuple]] = {name: [] for name in dynamic}
+    start = time.perf_counter()
+    for index in range(updates):
+        relation = dynamic[rng.randrange(len(dynamic))]
+        keys = live[relation]
+        if deletes_ok and keys and rng.random() < 0.25:
+            key = keys.pop(rng.randrange(len(keys)))
+            engine.apply(Update(relation, key, -1))
+        else:
+            key = random_key(relation)
+            keys.append(key)
+            engine.apply(Update(relation, key, 1))
+        if (
+            can_enumerate
+            and enum_interval
+            and (index + 1) % (batch * enum_interval) == 0
+        ):
+            for _ in engine.enumerate():
+                pass
+    if can_enumerate:
+        for _ in engine.enumerate():
+            pass
+    seconds = time.perf_counter() - start
+
+    print(f"query: {query}")
+    print(f"plan:  {plan.strategy}  ({plan.reason})")
+    print()
+    print(stats.render())
+    print()
+    rate = updates / seconds if seconds > 0 else 0.0
+    print(f"replayed {updates} updates in {seconds:.3f}s ({rate:,.0f} upd/s)")
+    if json_path:
+        written = write_stats_json(
+            json_path,
+            stats,
+            meta={
+                "query": str(query),
+                "plan": plan.strategy,
+                "updates": updates,
+                "prefill": prefill,
+                "domain": domain,
+                "seed": seed,
+                "seconds": seconds,
+            },
+        )
+        print(f"stats written to {written}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -133,11 +244,61 @@ def main(argv: list[str] | None = None) -> int:
 
     subparsers.add_parser("demo", help="replay the Fig. 2 worked example")
 
+    stats_parser = subparsers.add_parser(
+        "stats",
+        help="replay a synthetic workload and report maintenance statistics",
+    )
+    stats_parser.add_argument("query", help='e.g. "Q(A) = R(A,B) * S(B)"')
+    stats_parser.add_argument(
+        "--fd", action="append", default=[], metavar="'X -> Y'",
+        help="functional dependency (repeatable)",
+    )
+    stats_parser.add_argument(
+        "--insert-only", action="store_true",
+        help="generate an insert-only update stream",
+    )
+    stats_parser.add_argument(
+        "--updates", type=int, default=2000, help="stream length (default 2000)"
+    )
+    stats_parser.add_argument(
+        "--prefill", type=int, default=50,
+        help="tuples preloaded per relation before planning (default 50)",
+    )
+    stats_parser.add_argument(
+        "--domain", type=int, default=10,
+        help="attribute value domain size (default 10)",
+    )
+    stats_parser.add_argument("--seed", type=int, default=0)
+    stats_parser.add_argument(
+        "--batch", type=int, default=100, help="batch size (default 100)"
+    )
+    stats_parser.add_argument(
+        "--enum-interval", type=int, default=4,
+        help="full enumeration every N batches; 0 disables (default 4)",
+    )
+    stats_parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also dump the recorder as repro.obs/1 JSON",
+    )
+
     args = parser.parse_args(argv)
     if args.command == "classify":
         return classify(args.query, args.fd, args.insert_only)
     if args.command == "demo":
         return demo()
+    if args.command == "stats":
+        return run_stats(
+            args.query,
+            args.fd,
+            args.insert_only,
+            args.updates,
+            args.prefill,
+            args.domain,
+            args.seed,
+            args.batch,
+            args.enum_interval,
+            args.json,
+        )
     return 1  # pragma: no cover
 
 

@@ -29,6 +29,7 @@ from ..query.variable_order import (
     validate_order,
 )
 from ..rings.lifting import LiftingMap
+from ..obs import Observable, observed, share_stats
 from ..viewtree.engine import ViewTreeEngine
 
 
@@ -159,7 +160,7 @@ def _extended_head_query(
     )
 
 
-class FDEngine:
+class FDEngine(Observable):
     """Theorem 4.11 maintenance: O(1) updates/delay on FD-satisfying data."""
 
     def __init__(
@@ -176,9 +177,14 @@ class FDEngine:
         self.engine = ViewTreeEngine(self._extended, database, order, lifting)
         self._project = Schema(self._extended.head).projector(query.head)
 
+    def _propagate_stats(self, stats) -> None:
+        share_stats(self.engine, stats)
+
+    @observed
     def apply(self, update: Update, update_base: bool = True) -> None:
         self.engine.apply(update, update_base)
 
+    @observed
     def apply_batch(self, batch) -> None:
         for update in batch:
             self.apply(update)

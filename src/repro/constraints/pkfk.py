@@ -26,6 +26,7 @@ from typing import Any
 from ..data.relation import Relation
 from ..data.schema import Schema
 from ..data.update import Update
+from ..obs import Observable, observed
 from ..rings.base import Ring
 from ..rings.standard import Z
 
@@ -38,7 +39,7 @@ class Dimension:
     key_variable: str
 
 
-class StarJoinCounter:
+class StarJoinCounter(Observable):
     """Amortized O(1) maintenance of a star join's aggregate."""
 
     def __init__(
@@ -77,6 +78,7 @@ class StarJoinCounter:
     # Updates
     # ------------------------------------------------------------------
 
+    @observed
     def apply(self, update: Update) -> None:
         if update.relation == self.fact_name:
             self._update_fact(update.key, update.payload)
@@ -85,6 +87,7 @@ class StarJoinCounter:
         else:
             raise KeyError(f"unknown relation {update.relation!r}")
 
+    @observed
     def apply_batch(self, batch) -> None:
         for update in batch:
             self.apply(update)

@@ -26,6 +26,7 @@ from ..data.update import Update
 from ..delta.engine import DeltaQueryEngine
 from ..insertonly.engine import InsertOnlyEngine
 from ..ivme.triangle import TriangleCounter
+from ..obs import Observable, share_stats
 from ..query.ast import Query
 from ..query.properties import is_q_hierarchical
 from ..query.variable_order import search_order
@@ -35,8 +36,17 @@ from ..viewtree.engine import ViewTreeEngine
 from .planner import Plan, plan_maintenance
 
 
-class IVMEngine:
-    """Plan-and-dispatch facade over the library's maintenance engines."""
+class IVMEngine(Observable):
+    """Plan-and-dispatch facade over the library's maintenance engines.
+
+    Observability: ``attach_stats()`` shares one
+    :class:`~repro.obs.MaintenanceStats` recorder with the selected
+    backend engine (and, transitively, its sub-engines and partitioned
+    relations), so per-update latency, delta sizes, enumeration delay,
+    and rebalance events are all captured regardless of the plan.  The
+    facade itself records nothing — the backend's instrumented entry
+    points do — which keeps facade dispatch out of the latency samples.
+    """
 
     def __init__(
         self,
@@ -83,6 +93,9 @@ class IVMEngine:
     # ------------------------------------------------------------------
     # Updates
     # ------------------------------------------------------------------
+
+    def _propagate_stats(self, stats) -> None:
+        share_stats(self._engine, stats)
 
     def apply(self, update: Update) -> None:
         engine = self._engine

@@ -15,6 +15,7 @@ from typing import Any, Iterator, Mapping, Sequence
 
 from ..data.database import Database
 from ..data.update import Update
+from ..obs import Observable, observed, share_stats
 from ..query.ast import Query
 from ..query.variable_order import canonical_order
 from ..rings.lifting import LiftingMap
@@ -22,7 +23,7 @@ from .fracture import Fracture, fracture, is_tractable_cqap
 from ..viewtree.engine import ViewTreeEngine
 
 
-class CQAPEngine:
+class CQAPEngine(Observable):
     """View-tree maintenance + access requests for a tractable CQAP."""
 
     def __init__(
@@ -56,6 +57,11 @@ class CQAPEngine:
     # Updates
     # ------------------------------------------------------------------
 
+    def _propagate_stats(self, stats) -> None:
+        for engine in self.engines:
+            share_stats(engine, stats)
+
+    @observed
     def apply(self, update: Update) -> None:
         """O(1) single-tuple update, propagated into every component."""
         if update.relation not in self._relations:
@@ -65,6 +71,7 @@ class CQAPEngine:
         for engine in self.engines:
             engine.apply(update, update_base=False)
 
+    @observed
     def apply_batch(self, batch) -> None:
         for update in batch:
             self.apply(update)

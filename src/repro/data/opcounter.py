@@ -31,7 +31,9 @@ class OpCounter:
             self.counts[kind] = self.counts.get(kind, 0) + amount
 
     def reset(self) -> None:
-        self.counts = {}
+        # Clear in place: scoped counting() blocks share this dict with
+        # the scope object they yielded, and rebinding would decouple them.
+        self.counts.clear()
 
     def total(self) -> int:
         """Total operations across all kinds."""
@@ -47,18 +49,29 @@ COUNTER = OpCounter()
 
 @contextmanager
 def counting():
-    """Enable operation counting within the block and yield the counter.
+    """Enable operation counting within the block and yield a counter.
 
-    The counter is reset on entry, so counts observed inside the block
-    belong to the block alone.  Nesting re-uses the same counter.
+    The yielded counter observes only the block's own operations and
+    stays readable after the block exits.  Blocks nest: entering an inner
+    ``counting()`` no longer clobbers the outer block's counts — the
+    outer counts are saved on entry and restored on exit, and the inner
+    block's operations roll up into the outer block (they did happen
+    during it).
     """
-    was_enabled = COUNTER.enabled
-    COUNTER.reset()
+    outer_counts = COUNTER.counts
+    outer_enabled = COUNTER.enabled
+    scope = OpCounter()
+    scope.enabled = True
+    COUNTER.counts = scope.counts
     COUNTER.enabled = True
     try:
-        yield COUNTER
+        yield scope
     finally:
-        COUNTER.enabled = was_enabled
+        COUNTER.counts = outer_counts
+        COUNTER.enabled = outer_enabled
+        if outer_enabled:
+            for kind, amount in scope.counts.items():
+                outer_counts[kind] = outer_counts.get(kind, 0) + amount
 
 
 def measure_ops(operation) -> int:

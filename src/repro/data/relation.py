@@ -150,15 +150,20 @@ class Relation:
         return new
 
     def set(self, key: tuple, payload: Any) -> None:
-        """Overwrite the payload at ``key`` (remove when zero)."""
-        COUNTER.bump("write")
+        """Overwrite the payload at ``key`` (remove when zero).
+
+        A zero payload on an absent key is a no-op and counts no write,
+        so complexity assertions over ``COUNTER`` see only real work.
+        """
         present = key in self.data
         if self.ring.is_zero(payload):
             if present:
+                COUNTER.bump("write")
                 del self.data[key]
                 for index in self._indexes.values():
                     index.remove(key)
             return
+        COUNTER.bump("write")
         self.data[key] = payload
         if not present:
             for index in self._indexes.values():
@@ -174,9 +179,14 @@ class Relation:
         self.add(tuple(key), self.ring.neg(value))
 
     def apply(self, delta: "Relation | Mapping[tuple, Any]") -> None:
-        """Apply a delta relation: ``self := self (+) delta``."""
-        entries = delta.items() if isinstance(delta, Relation) else delta.items()
-        for key, payload in entries:
+        """Apply a delta relation: ``self := self (+) delta``.
+
+        The delta's entries are materialized before any write, so the
+        delta may alias ``self`` (``rel.apply(rel)`` doubles every
+        payload) or be a view over it, without tripping over mutation
+        during iteration.
+        """
+        for key, payload in list(delta.items()):
             self.add(key, payload)
 
     def clear(self) -> None:

@@ -24,13 +24,14 @@ from ..data.database import Database
 from ..data.relation import Relation
 from ..data.update import Update
 from ..naive.evaluator import evaluate
+from ..obs import Observable, observed
 from ..query.ast import Atom, Query
 from ..rings.lifting import LiftingMap
 
 _DELTA_PREFIX = "__delta__"
 
 
-class DeltaQueryEngine:
+class DeltaQueryEngine(Observable):
     """First-order IVM: maintain ``query`` over ``database`` with deltas."""
 
     def __init__(
@@ -59,6 +60,7 @@ class DeltaQueryEngine:
     # Updates
     # ------------------------------------------------------------------
 
+    @observed
     def update(self, update: Update) -> None:
         """Process one single-tuple update."""
         if self.eager:
@@ -68,6 +70,7 @@ class DeltaQueryEngine:
         else:
             self._buffer(update)
 
+    @observed
     def update_batch(self, batch) -> None:
         for update in batch:
             self.update(update)

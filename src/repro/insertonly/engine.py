@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Any, Iterator, Optional
 
 from ..data.opcounter import COUNTER
+from ..obs import Observable, observed
 from ..data.update import Update
 from ..query.ast import Atom, Query
 from ..query.hypergraph import JoinTreeNode, build_join_tree
@@ -64,7 +65,7 @@ class _NodeState:
         return tuple(key[i] for i in positions)
 
 
-class InsertOnlyEngine:
+class InsertOnlyEngine(Observable):
     """Amortized O(1) insert-only maintenance for alpha-acyclic joins."""
 
     def __init__(self, query: Query):
@@ -117,6 +118,7 @@ class InsertOnlyEngine:
         if supported == len(node.children):
             self._activate(node, key)
 
+    @observed
     def apply(self, update: Update) -> None:
         """Update-protocol adapter; rejects deletes (insert-only setting)."""
         try:

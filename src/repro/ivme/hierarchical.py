@@ -27,11 +27,12 @@ from typing import Any, Iterator
 from ..data.database import Database
 from ..data.relation import Relation
 from ..data.update import Update
+from ..obs import Observable, observed
 from ..rings.standard import Z
 from .partition import PartitionedRelation
 
 
-class TradeoffEngine:
+class TradeoffEngine(Observable):
     """IVM^epsilon maintenance of ``Q(A) = SUM_B R(A,B) * S(B)``."""
 
     def __init__(
@@ -68,10 +69,15 @@ class TradeoffEngine:
     def size(self) -> int:
         return len(self.R) + len(self.S)
 
+    def _propagate_stats(self, stats) -> None:
+        self.R.stats = stats
+
+    @observed
     def apply_batch(self, batch) -> None:
         for update in batch:
             self.apply(update)
 
+    @observed
     def apply(self, update: Update) -> None:
         name_r, name_s = self.names
         if update.relation == name_r:

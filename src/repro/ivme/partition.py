@@ -61,6 +61,9 @@ class PartitionedRelation:
         self._degrees: dict[Any, int] = {}
         self._heavy_values: set[Any] = set()
         self._listeners: list[MigrationListener] = []
+        #: Optional MaintenanceStats recorder; set by an observing engine
+        #: so that migrations and repartitions show up as rebalance events.
+        self.stats = None
         self.set_threshold(threshold)
 
     def set_threshold(self, threshold: float) -> None:
@@ -147,6 +150,8 @@ class PartitionedRelation:
             self._heavy_values.add(value)
         else:
             self._heavy_values.discard(value)
+        if self.stats is not None:
+            self.stats.record_migration(len(moved), to_heavy)
         for listener in self._listeners:
             listener(value, moved, to_heavy)
 
@@ -160,6 +165,8 @@ class PartitionedRelation:
         """
         if threshold is not None:
             self.set_threshold(threshold)
+        if self.stats is not None:
+            self.stats.record_repartition(self.threshold)
         for value in list(self._degrees):
             degree = self._degrees[value]
             if value in self._heavy_values and degree < self.threshold:

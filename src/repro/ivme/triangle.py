@@ -30,11 +30,12 @@ from ..data.database import Database
 from ..data.opcounter import COUNTER
 from ..data.relation import Relation
 from ..data.update import Update
+from ..obs import Observable, observed
 from ..rings.standard import Z
 from .partition import PartitionedRelation
 
 
-class TriangleCounter:
+class TriangleCounter(Observable):
     """Worst-case optimal maintenance of the triangle count."""
 
     def __init__(
@@ -79,6 +80,11 @@ class TriangleCounter:
         """Triangle detection: is the count positive? (Section 3.4)."""
         return self.count > 0
 
+    def _propagate_stats(self, stats) -> None:
+        for part in (self.R, self.S, self.T):
+            part.stats = stats
+
+    @observed
     def apply(self, update: Update) -> None:
         """Process one single-tuple update to R, S, or T."""
         name_r, name_s, name_t = self.names
@@ -93,6 +99,7 @@ class TriangleCounter:
         self._updates_since_rebalance += 1
         self._maybe_rebalance()
 
+    @observed
     def apply_batch(self, batch) -> None:
         for update in batch:
             self.apply(update)

@@ -1,0 +1,111 @@
+"""Scoped, nestable operation counting and wall-clock timers.
+
+:mod:`repro.data.opcounter` provides the process-wide elementary-operation
+counter that the data structures report to.  This module layers two
+ergonomic instruments on top of it:
+
+* :func:`op_scope` — a context manager combining a :func:`counting` block
+  with a wall-clock measurement.  Scopes nest: the inner scope observes
+  only its own block, and its counts still roll up into the outer scope
+  (the operations really did happen during the outer block too).
+* :class:`StopWatch` — accumulating named timers for coarse phase
+  breakdowns (preprocessing vs updates vs enumeration).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from ..data.opcounter import counting
+
+
+class OpScope:
+    """Result carrier of one :func:`op_scope` block."""
+
+    __slots__ = ("name", "counts", "seconds")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.counts: dict[str, int] = {}
+        self.seconds: float = 0.0
+
+    def total(self) -> int:
+        """Total elementary operations observed in the scope."""
+        return sum(self.counts.values())
+
+    def __getitem__(self, kind: str) -> int:
+        return self.counts.get(kind, 0)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seconds": self.seconds,
+            "ops": dict(self.counts),
+            "ops_total": self.total(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"OpScope({self.name!r}, ops={self.total()}, "
+            f"seconds={self.seconds:.6f})"
+        )
+
+
+@contextmanager
+def op_scope(name: str = "scope") -> Iterator[OpScope]:
+    """Measure elementary operations and wall-clock time for a block.
+
+    Yields an :class:`OpScope` that is filled in when the block exits, so
+    read it *after* the ``with`` statement::
+
+        with op_scope("update") as scope:
+            engine.apply(update)
+        print(scope.total(), scope.seconds)
+
+    Scopes nest without losing counts (see :func:`repro.data.counting`).
+    """
+    scope = OpScope(name)
+    start = time.perf_counter()
+    try:
+        with counting() as counter:
+            yield scope
+    finally:
+        scope.seconds = time.perf_counter() - start
+        scope.counts = dict(counter.counts)
+
+
+class StopWatch:
+    """Accumulating wall-clock timers keyed by label; safely nestable."""
+
+    __slots__ = ("totals", "calls")
+
+    def __init__(self):
+        self.totals: dict[str, float] = {}
+        self.calls: dict[str, int] = {}
+
+    @contextmanager
+    def time(self, label: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.totals[label] = self.totals.get(label, 0.0) + elapsed
+            self.calls[label] = self.calls.get(label, 0) + 1
+
+    def seconds(self, label: str) -> float:
+        return self.totals.get(label, 0.0)
+
+    def to_dict(self) -> dict:
+        return {
+            label: {"seconds": self.totals[label], "calls": self.calls[label]}
+            for label in self.totals
+        }
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{label}={seconds:.4f}s" for label, seconds in self.totals.items()
+        )
+        return f"StopWatch({parts})"

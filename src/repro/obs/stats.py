@@ -1,0 +1,309 @@
+"""The :class:`MaintenanceStats` recorder shared by all engines.
+
+One recorder captures everything the experiment sections of the paper
+plot:
+
+* per-update and per-batch **latency histograms** (Fig. 4 throughput is a
+  summary of these),
+* per-view **delta sizes** in view trees (the "small changes beget small
+  changes" premise, measurable),
+* **enumeration delay** samples — the time between consecutive output
+  tuples, the quantity bounded by the O(1)-delay theorems,
+* heavy/light **rebalance events** from :mod:`repro.ivme.partition`
+  (migrations and global repartitions, whose amortization Fig. 7 relies
+  on),
+* optional **elementary-operation** totals folded in from
+  :func:`repro.obs.op_scope`.
+
+Histograms are log2-bucketed over seconds: pure-Python wall-clock numbers
+are noisy, but their order of magnitude is stable, which is exactly what
+a bucketed histogram preserves.  Everything serializes via
+:meth:`MaintenanceStats.to_dict` into plain JSON types.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable
+
+#: Smallest latency bucket boundary (100 ns — below timer resolution).
+_BASE = 1e-7
+
+
+class RunningStat:
+    """Count/total/min/max accumulator for a stream of numbers."""
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "RunningStat") -> None:
+        self.count += other.count
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    def to_dict(self) -> dict:
+        if not self.count:
+            return {"count": 0, "total": 0.0, "min": None, "max": None, "mean": 0.0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+        }
+
+    def __repr__(self) -> str:
+        return f"RunningStat(count={self.count}, mean={self.mean:.4g})"
+
+
+class LatencyHistogram:
+    """Log2-bucketed histogram of durations in seconds.
+
+    Bucket ``i`` covers ``(_BASE * 2^(i-1), _BASE * 2^i]``; durations at
+    or below ``_BASE`` land in bucket 0.  Percentiles are reported as the
+    upper boundary of the bucket containing the requested rank, i.e. a
+    conservative (over-)estimate within a factor of 2.
+    """
+
+    __slots__ = ("buckets", "stat")
+
+    def __init__(self):
+        self.buckets: dict[int, int] = {}
+        self.stat = RunningStat()
+
+    def record(self, seconds: float) -> None:
+        if seconds < 0:
+            seconds = 0.0
+        self.stat.record(seconds)
+        index = 0 if seconds <= _BASE else int(math.ceil(math.log2(seconds / _BASE)))
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    @property
+    def count(self) -> int:
+        return self.stat.count
+
+    def percentile(self, q: float) -> float:
+        """Upper bucket boundary at quantile ``q`` in [0, 1]."""
+        if not self.stat.count:
+            return 0.0
+        rank = max(1, math.ceil(q * self.stat.count))
+        seen = 0
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen >= rank:
+                return _BASE * (2.0 ** index)
+        return self.stat.maximum
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        self.stat.merge(other.stat)
+        for index, count in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + count
+
+    def to_dict(self) -> dict:
+        summary = self.stat.to_dict()
+        if self.stat.count:
+            summary["p50"] = self.percentile(0.50)
+            summary["p95"] = self.percentile(0.95)
+            summary["p99"] = self.percentile(0.99)
+        summary["buckets"] = {
+            f"<={_BASE * (2.0 ** index):.3g}s": self.buckets[index]
+            for index in sorted(self.buckets)
+        }
+        return summary
+
+    def __repr__(self) -> str:
+        return (
+            f"LatencyHistogram(count={self.stat.count}, "
+            f"mean={self.stat.mean:.3g}s)"
+        )
+
+
+class MaintenanceStats:
+    """Structured recorder for one engine's maintenance activity."""
+
+    def __init__(self, engine: str = "engine"):
+        self.engine = engine
+        #: Top-level single-tuple updates observed.
+        self.updates = 0
+        #: Top-level batch calls observed.
+        self.batches = 0
+        self.update_latency = LatencyHistogram()
+        self.batch_latency = LatencyHistogram()
+        #: View name -> delta-size distribution (view-tree propagation).
+        self.delta_sizes: dict[str, RunningStat] = {}
+        #: Per-tuple enumeration delay samples.
+        self.enum_delay = LatencyHistogram()
+        self.enumerations = 0
+        self.tuples_enumerated = 0
+        #: Heavy/light partition events (repro.ivme.partition).
+        self.migrations = 0
+        self.tuples_migrated = 0
+        self.repartitions = 0
+        #: Elementary op totals folded in via record_ops / op_scope.
+        self.ops: dict[str, int] = {}
+        # Reentrancy guard: engines stack (facade -> cascade -> view tree),
+        # and only the outermost observed call should count the update.
+        self._depth = 0
+
+    # ------------------------------------------------------------------
+    # Recording API (called from instrumentation hooks)
+    # ------------------------------------------------------------------
+
+    def record_update(self, seconds: float, kind: str = "apply") -> None:
+        """One top-level ``apply``/``update`` (or ``*_batch``) call."""
+        if kind.endswith("batch"):
+            self.batches += 1
+            self.batch_latency.record(seconds)
+        else:
+            self.updates += 1
+            self.update_latency.record(seconds)
+
+    def record_delta(self, view: str, size: int) -> None:
+        """Size of one delta propagated into ``view``."""
+        stat = self.delta_sizes.get(view)
+        if stat is None:
+            stat = self.delta_sizes[view] = RunningStat()
+        stat.record(size)
+
+    def record_enumeration(self) -> None:
+        self.enumerations += 1
+
+    def record_enum_delay(self, seconds: float) -> None:
+        self.enum_delay.record(seconds)
+        self.tuples_enumerated += 1
+
+    def record_migration(self, moved: int, to_heavy: bool) -> None:
+        self.migrations += 1
+        self.tuples_migrated += moved
+
+    def record_repartition(self, threshold: float) -> None:
+        self.repartitions += 1
+
+    def record_ops(self, counts: dict[str, int] | Iterable[tuple[str, int]]) -> None:
+        items = counts.items() if isinstance(counts, dict) else counts
+        for kind, amount in items:
+            self.ops[kind] = self.ops.get(kind, 0) + amount
+
+    # ------------------------------------------------------------------
+    # Aggregation and export
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "MaintenanceStats") -> None:
+        self.updates += other.updates
+        self.batches += other.batches
+        self.update_latency.merge(other.update_latency)
+        self.batch_latency.merge(other.batch_latency)
+        for view, stat in other.delta_sizes.items():
+            mine = self.delta_sizes.get(view)
+            if mine is None:
+                mine = self.delta_sizes[view] = RunningStat()
+            mine.merge(stat)
+        self.enum_delay.merge(other.enum_delay)
+        self.enumerations += other.enumerations
+        self.tuples_enumerated += other.tuples_enumerated
+        self.migrations += other.migrations
+        self.tuples_migrated += other.tuples_migrated
+        self.repartitions += other.repartitions
+        self.record_ops(other.ops)
+
+    def to_dict(self) -> dict:
+        """Plain-JSON snapshot (the ``repro.obs/1`` stats payload)."""
+        return {
+            "engine": self.engine,
+            "updates": self.updates,
+            "batches": self.batches,
+            "update_latency": self.update_latency.to_dict(),
+            "batch_latency": self.batch_latency.to_dict(),
+            "delta_sizes": {
+                view: stat.to_dict()
+                for view, stat in sorted(self.delta_sizes.items())
+            },
+            "enumerations": self.enumerations,
+            "tuples_enumerated": self.tuples_enumerated,
+            "enum_delay": self.enum_delay.to_dict(),
+            "rebalance": {
+                "migrations": self.migrations,
+                "tuples_migrated": self.tuples_migrated,
+                "repartitions": self.repartitions,
+            },
+            "ops": dict(sorted(self.ops.items())),
+        }
+
+    def render(self) -> str:
+        """Human-readable multi-line summary (CLI ``stats`` output)."""
+        lines = [f"maintenance stats — {self.engine}"]
+        lines.append("=" * len(lines[0]))
+
+        def latency_line(label: str, histogram: LatencyHistogram) -> str:
+            s = histogram.stat
+            if not s.count:
+                return f"{label}: none"
+            return (
+                f"{label}: n={s.count}  mean={s.mean:.3g}s  "
+                f"p50<={histogram.percentile(0.5):.3g}s  "
+                f"p95<={histogram.percentile(0.95):.3g}s  "
+                f"max={s.maximum:.3g}s"
+            )
+
+        lines.append(f"updates:  {self.updates}  (batches: {self.batches})")
+        lines.append("  " + latency_line("latency", self.update_latency))
+        if self.batches:
+            lines.append("  " + latency_line("batch latency", self.batch_latency))
+        lines.append(
+            f"enumerations: {self.enumerations}  "
+            f"tuples: {self.tuples_enumerated}"
+        )
+        if self.tuples_enumerated:
+            lines.append("  " + latency_line("delay", self.enum_delay))
+        if self.delta_sizes:
+            lines.append("delta sizes per view:")
+            for view, stat in sorted(self.delta_sizes.items()):
+                lines.append(
+                    f"  {view}: n={stat.count}  mean={stat.mean:.3g}  "
+                    f"max={stat.maximum:g}"
+                )
+        if self.migrations or self.repartitions:
+            lines.append(
+                f"rebalancing: {self.migrations} migrations "
+                f"({self.tuples_migrated} tuples), "
+                f"{self.repartitions} repartitions"
+            )
+        if self.ops:
+            total = sum(self.ops.values())
+            detail = ", ".join(
+                f"{kind}={count}" for kind, count in sorted(self.ops.items())
+            )
+            lines.append(f"elementary ops: {total}  ({detail})")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"MaintenanceStats({self.engine!r}, updates={self.updates}, "
+            f"enumerations={self.enumerations})"
+        )
+
+
+def merge_stats(stats: Iterable[MaintenanceStats], engine: str = "merged") -> MaintenanceStats:
+    """Fold several recorders into one (multi-engine coordinators)."""
+    merged = MaintenanceStats(engine=engine)
+    for item in stats:
+        merged.merge(item)
+    return merged

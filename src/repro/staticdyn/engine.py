@@ -6,6 +6,7 @@ from typing import Any, Iterator
 
 from ..data.database import Database
 from ..data.update import Update
+from ..obs import Observable, observed, share_stats
 from ..query.ast import Query
 from ..rings.lifting import LiftingMap
 from ..viewtree.engine import ViewTreeEngine
@@ -16,7 +17,7 @@ class StaticRelationUpdateError(RuntimeError):
     """An update targeted a relation adorned as static."""
 
 
-class StaticDynamicEngine:
+class StaticDynamicEngine(Observable):
     """View-tree engine specialised for static/dynamic adornments.
 
     Views over static-only subtrees are computed once at preprocessing
@@ -50,6 +51,10 @@ class StaticDynamicEngine:
                 f"relations {sorted(overlap)} appear both static and dynamic"
             )
 
+    def _propagate_stats(self, stats) -> None:
+        share_stats(self.engine, stats)
+
+    @observed
     def apply(self, update: Update, update_base: bool = True) -> None:
         if update.relation in self._static:
             raise StaticRelationUpdateError(
@@ -57,6 +62,7 @@ class StaticDynamicEngine:
             )
         self.engine.apply(update, update_base)
 
+    @observed
     def apply_batch(self, batch) -> None:
         for update in batch:
             self.apply(update)

@@ -36,6 +36,7 @@ from ..data.relation import Relation
 from ..data.schema import Schema
 from ..data.update import Update
 from ..naive.algebra import join_all, join_pair, marginalize, union_into
+from ..obs import Observable, observed, observed_enumeration
 from ..query.ast import Atom, Query
 from ..query.variable_order import VariableOrder, VarOrderNode, order_for
 from ..rings.lifting import LiftingMap
@@ -99,7 +100,7 @@ class ViewNode:
         )
 
 
-class ViewTreeEngine:
+class ViewTreeEngine(Observable):
     """Eager factorized IVM over a variable order (the F-IVM engine)."""
 
     def __init__(
@@ -172,6 +173,7 @@ class ViewTreeEngine:
     # Maintenance
     # ------------------------------------------------------------------
 
+    @observed
     def apply(self, update: Update, update_base: bool = True) -> None:
         """Process one single-tuple update.
 
@@ -187,6 +189,7 @@ class ViewTreeEngine:
             leaf.add(update.key, update.payload)
             self._propagate(node, delta, exclude=leaf)
 
+    @observed
     def apply_batch(
         self,
         batch,
@@ -271,6 +274,9 @@ class ViewTreeEngine:
                 lift = self.lifting.for_variable(node.variable)
             delta_view = marginalize(delta_guard, node.variable, self.ring, lift)
             union_into(node.view, delta_view)
+            stats = self._maintenance_stats
+            if stats is not None:
+                stats.record_delta(f"V_{node.variable}", len(delta_view))
             delta = delta_view
             exclude = node.view
             node = node.parent
@@ -290,6 +296,14 @@ class ViewTreeEngine:
         return payload
 
     def enumerate(
+        self, prebound: dict[str, Any] | None = None
+    ) -> Iterator[tuple[tuple, Any]]:
+        """Enumerate output tuples, sampling delay when stats are attached."""
+        return observed_enumeration(
+            self._maintenance_stats, self._enumerate(prebound)
+        )
+
+    def _enumerate(
         self, prebound: dict[str, Any] | None = None
     ) -> Iterator[tuple[tuple, Any]]:
         """Enumerate output tuples (key over the head, payload).

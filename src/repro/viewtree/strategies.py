@@ -30,13 +30,14 @@ from ..data.database import Database
 from ..data.update import Update
 from ..delta.engine import DeltaQueryEngine
 from ..naive.evaluator import evaluate
+from ..obs import Observable, observed, observed_enumeration
 from ..query.ast import Query
 from ..query.variable_order import VariableOrder
 from ..rings.lifting import LiftingMap
 from .engine import ViewTreeEngine
 
 
-class MaintenanceStrategy(ABC):
+class MaintenanceStrategy(Observable, ABC):
     """Common interface: feed updates, request full enumeration."""
 
     name: str
@@ -50,8 +51,16 @@ class MaintenanceStrategy(ABC):
         """Enumerate all output tuples (a full enumeration request)."""
 
     def enumerate_count(self) -> int:
-        """Drain a full enumeration and return the tuple count."""
-        return sum(1 for _ in self.enumerate())
+        """Drain a full enumeration and return the tuple count.
+
+        When a stats recorder is attached, per-tuple enumeration delays
+        are sampled into it.
+        """
+        iterator = self.enumerate()
+        stats = self._maintenance_stats
+        if stats is not None:
+            iterator = observed_enumeration(stats, iterator)
+        return sum(1 for _ in iterator)
 
 
 class EagerFact(MaintenanceStrategy):
@@ -68,6 +77,10 @@ class EagerFact(MaintenanceStrategy):
     ):
         self.engine = ViewTreeEngine(query, database, order, lifting)
 
+    def _propagate_stats(self, stats) -> None:
+        self.engine._maintenance_stats = stats
+
+    @observed
     def apply(self, update: Update) -> None:
         self.engine.apply(update)
 
@@ -94,6 +107,10 @@ class EagerList(MaintenanceStrategy):
     ):
         self.engine = DeltaQueryEngine(query, database, lifting, eager=True)
 
+    def _propagate_stats(self, stats) -> None:
+        self.engine._maintenance_stats = stats
+
+    @observed
     def apply(self, update: Update) -> None:
         self.engine.update(update)
 
@@ -118,6 +135,7 @@ class LazyList(MaintenanceStrategy):
         self._output = evaluate(query, database, self.lifting)
         self._dirty = False
 
+    @observed
     def apply(self, update: Update) -> None:
         self.database[update.relation].add(update.key, update.payload)
         self._dirty = True
@@ -148,6 +166,10 @@ class LazyFact(MaintenanceStrategy):
         self._engine = ViewTreeEngine(query, database, order, lifting)
         self._dirty = False
 
+    def _propagate_stats(self, stats) -> None:
+        self._engine._maintenance_stats = stats
+
+    @observed
     def apply(self, update: Update) -> None:
         self.database[update.relation].add(update.key, update.payload)
         self._dirty = True
@@ -157,6 +179,8 @@ class LazyFact(MaintenanceStrategy):
             self._engine = ViewTreeEngine(
                 self.query, self.database, self.order, self.lifting
             )
+            # The rebuilt tree inherits the attached recorder, if any.
+            self._engine._maintenance_stats = self._maintenance_stats
             self._dirty = False
         return self._engine.enumerate()
 

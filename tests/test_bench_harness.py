@@ -1,10 +1,20 @@
 """The benchmark harness utilities themselves."""
 
+import json
 import math
 
 import pytest
 
-from repro.bench import Table, growth_exponent, run_throughput, time_call
+from repro.bench import (
+    BENCH_SCHEMA,
+    Table,
+    ThroughputResult,
+    growth_exponent,
+    run_throughput,
+    time_call,
+    write_bench_json,
+)
+from repro.bench import bench_record as make_bench_record
 
 
 class TestGrowthExponent:
@@ -82,7 +92,104 @@ class TestRunThroughput:
         )
         assert result.updates < 1000
 
+    def test_time_budget_checked_before_enumeration(self):
+        # Regression: the budget used to be checked only *after* a full
+        # enumeration pass, so a slow enumerate_all ran even with the
+        # budget already exhausted.
+        import time
+
+        enumerations = []
+
+        def slow_update(_):
+            time.sleep(0.02)
+
+        def enumerate_all():
+            enumerations.append(1)
+            return []
+
+        result = run_throughput(
+            "s", slow_update, enumerate_all, list(range(10)), 1, 1,
+            time_budget=0.01,
+        )
+        # The first batch alone exceeds the budget, so no enumeration
+        # may start.
+        assert enumerations == []
+        assert result.enumerations == 0
+        assert result.updates == 1
+
+    def test_zero_duration_throughput_is_finite(self):
+        # Regression: zero-duration runs used to report inf.
+        result = ThroughputResult("s", updates=10, enumerations=0, seconds=0.0)
+        assert result.throughput == 0.0
+        assert math.isfinite(result.throughput)
+        empty = ThroughputResult("s", updates=0, enumerations=0, seconds=0.0)
+        assert empty.throughput == 0.0
+
+    def test_stats_recording(self):
+        from repro.obs import MaintenanceStats
+
+        stats = MaintenanceStats("bench")
+        result = run_throughput(
+            "s", lambda u: None, lambda: [1, 2], list(range(10)), 2, 2,
+            stats=stats,
+        )
+        assert result.updates == 10
+        assert stats.updates == 10
+        assert stats.update_latency.count == 10
+        assert stats.enumerations == result.enumerations
+        assert stats.tuples_enumerated == result.tuples_enumerated
+
     def test_time_call(self):
         seconds, value = time_call(lambda: 42)
         assert value == 42
         assert seconds >= 0
+
+
+class TestBenchJson:
+    def _table(self):
+        table = Table("T", ["N", "ops"])
+        table.add(100, 12.5)
+        table.add(200, 25.0)
+        return table
+
+    def test_round_trip(self, tmp_path):
+        path = write_bench_json(str(tmp_path), "demo", self._table())
+        assert path.endswith("BENCH_demo.json")
+        with open(path) as handle:
+            data = json.load(handle)
+        assert data["schema"] == BENCH_SCHEMA
+        assert data["name"] == "demo"
+        assert list(data["series"].keys()) == ["N", "ops"]
+        assert data["series"]["N"] == [100, 200]
+        assert data["series"]["ops"] == [12.5, 25.0]
+        assert data["tables"][0]["title"] == "T"
+        assert data["tables"][0]["rows"] == [[100, 12.5], [200, 25.0]]
+
+    def test_non_json_cells_serialized_via_str(self, tmp_path):
+        table = Table("T", ["key", "value"])
+        table.add((1, 2), complex(1, 2))  # not JSON-native
+        path = write_bench_json(str(tmp_path), "weird", table)
+        with open(path) as handle:
+            data = json.load(handle)
+        # tuples become JSON arrays; anything else falls back to str()
+        assert data["tables"][0]["rows"] == [[[1, 2], "(1+2j)"]]
+
+    def test_stats_and_meta_ride_along(self, tmp_path):
+        from repro.obs import MaintenanceStats
+
+        stats = MaintenanceStats("engine-x")
+        stats.record_update(0.001)
+        path = write_bench_json(
+            str(tmp_path), "s", self._table(), stats=stats,
+            meta={"scale": 10},
+        )
+        with open(path) as handle:
+            data = json.load(handle)
+        assert data["meta"] == {"scale": 10}
+        assert data["stats"]["engine"] == "engine-x"
+        assert data["stats"]["updates"] == 1
+
+    def test_multiple_tables(self):
+        record = make_bench_record("m", [self._table(), self._table()])
+        assert len(record["tables"]) == 2
+        assert record["series"] == record["tables"][0]["series"]

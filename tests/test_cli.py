@@ -1,5 +1,7 @@
 """The command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -63,6 +65,54 @@ class TestDemo:
         assert "Q = 9" in out
         assert "Q = 5" in out
         assert "3 - 2 = 1" in out
+
+
+class TestStats:
+    def test_replay_prints_recorder(self, capsys):
+        code = main(
+            [
+                "stats",
+                "Q(A) = R(A,B) * S(B)",
+                "--updates",
+                "200",
+                "--prefill",
+                "10",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "plan:  viewtree" in out
+        assert "updates" in out
+        assert "replayed 200 updates" in out
+
+    def test_json_dump(self, tmp_path, capsys):
+        path = tmp_path / "stats.json"
+        code = main(
+            [
+                "stats",
+                "Q() = R(A,B) * S(B,C) * T(C,A)",
+                "--updates",
+                "300",
+                "--prefill",
+                "20",
+                "--json",
+                str(path),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        with open(path) as handle:
+            data = json.load(handle)
+        assert data["schema"] == "repro.obs/1"
+        assert data["stats"]["updates"] + data["stats"]["batches"] > 0
+        assert data["meta"]["plan"] == "ivm-eps-triangle"
+        assert data["meta"]["updates"] == 300
+
+    def test_static_only_query_refused(self, capsys):
+        code = main(["stats", "Q(A,B) = R@s(A,B)", "--updates", "10"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "no dynamic relations" in out
 
 
 class TestErrors:

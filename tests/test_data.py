@@ -153,6 +153,29 @@ class TestRelation:
         rel.apply(delta)
         assert rel.to_dict() == {(2,): 5}
 
+    def test_apply_self_doubles_payloads(self):
+        # Regression: the delta used to be iterated lazily, so
+        # rel.apply(rel) raised "dictionary changed size during iteration".
+        rel = Relation("R", ("A", "B"), data={(1, 2): 3, (4, 5): -1})
+        rel.apply(rel)
+        assert rel.to_dict() == {(1, 2): 6, (4, 5): -2}
+
+    def test_apply_accepts_plain_mapping(self):
+        rel = Relation("R", ("A",), data={(1,): 1})
+        rel.apply({(1,): 2, (3,): 4})
+        assert rel.to_dict() == {(1,): 3, (3,): 4}
+
+    def test_set_noop_counts_no_write(self):
+        # Regression: a zero payload on an absent key used to bump the
+        # "write" count, skewing complexity assertions.
+        rel = Relation("R", ("A",), data={(1,): 1})
+        with counting() as counter:
+            rel.set((99,), 0)
+        assert counter["write"] == 0
+        with counting() as counter:
+            rel.set((1,), 0)  # a real removal still counts
+        assert counter["write"] == 1
+
     def test_pretty_renders(self):
         rel = Relation("R", ("A", "B"), data={(1, 2): 3})
         text = rel.pretty()
@@ -214,6 +237,28 @@ class TestOpCounter:
         with counting():
             assert COUNTER.enabled
         assert not COUNTER.enabled
+
+    def test_nested_counting_preserves_outer_counts(self):
+        # Regression: entering a nested counting() block used to reset
+        # the shared counter, destroying the outer block's counts.
+        rel = Relation("R", ("A",), data={(1,): 1})
+        with counting() as outer:
+            rel.get((1,))
+            with counting() as inner:
+                rel.get((1,))
+                rel.get((2,))
+            assert inner["lookup"] == 2
+            # Outer keeps its own count and absorbs the inner block's.
+            assert outer["lookup"] == 3
+            rel.get((1,))
+        assert outer["lookup"] == 4
+        assert inner["lookup"] == 2  # inner scope unchanged after exit
+
+    def test_inner_scope_readable_after_exit(self):
+        rel = Relation("R", ("A",), data={(1,): 1})
+        with counting() as counter:
+            rel.get((1,))
+        assert counter.total() == 1
 
 
 class TestDatabase:

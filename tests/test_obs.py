@@ -1,0 +1,314 @@
+"""The repro.obs observability layer: counters, recorders, hooks, export."""
+
+import json
+import math
+
+import pytest
+
+from repro.data import Database, Relation, Update
+from repro.obs import (
+    LatencyHistogram,
+    MaintenanceStats,
+    Observable,
+    RunningStat,
+    STATS_SCHEMA,
+    StopWatch,
+    observed,
+    observed_enumeration,
+    op_scope,
+    stats_record,
+    write_stats_json,
+)
+from repro.query.parser import parse_query
+
+
+class TestOpScope:
+    def test_measures_ops_and_time(self):
+        rel = Relation("R", ("A",), data={(1,): 1})
+        with op_scope("probe") as scope:
+            rel.get((1,))
+            rel.get((2,))
+        assert scope["lookup"] == 2
+        assert scope.total() == 2
+        assert scope.seconds >= 0
+        assert scope.to_dict()["ops_total"] == 2
+
+    def test_nesting_composes(self):
+        rel = Relation("R", ("A",), data={(1,): 1})
+        with op_scope("outer") as outer:
+            rel.get((1,))
+            with op_scope("inner") as inner:
+                rel.get((1,))
+        assert inner.total() == 1
+        assert outer.total() == 2
+
+
+class TestStopWatch:
+    def test_accumulates(self):
+        watch = StopWatch()
+        with watch.time("a"):
+            pass
+        with watch.time("a"):
+            pass
+        with watch.time("b"):
+            pass
+        assert watch.calls["a"] == 2
+        assert watch.calls["b"] == 1
+        assert watch.seconds("a") >= 0
+        assert set(watch.to_dict()) == {"a", "b"}
+
+
+class TestRunningStat:
+    def test_basics(self):
+        stat = RunningStat()
+        for value in (1.0, 3.0, 2.0):
+            stat.record(value)
+        assert stat.count == 3
+        assert stat.mean == pytest.approx(2.0)
+        assert stat.minimum == 1.0
+        assert stat.maximum == 3.0
+
+    def test_empty_to_dict(self):
+        assert RunningStat().to_dict()["count"] == 0
+
+    def test_merge(self):
+        a, b = RunningStat(), RunningStat()
+        a.record(1.0)
+        b.record(5.0)
+        a.merge(b)
+        assert a.count == 2 and a.maximum == 5.0
+
+
+class TestLatencyHistogram:
+    def test_percentiles_bracket_samples(self):
+        histogram = LatencyHistogram()
+        for _ in range(99):
+            histogram.record(1e-5)
+        histogram.record(1e-2)
+        assert histogram.count == 100
+        # p50 is within a factor of 2 of the mass at 1e-5.
+        assert histogram.percentile(0.5) <= 2e-5
+        assert histogram.percentile(0.995) >= 1e-2 / 2
+        summary = histogram.to_dict()
+        assert summary["count"] == 100
+        assert summary["p50"] <= summary["p99"]
+
+    def test_zero_and_negative_durations(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.0)
+        histogram.record(-1.0)  # clock skew: clamped, never throws
+        assert histogram.count == 2
+        assert histogram.percentile(1.0) > 0
+
+
+class TestMaintenanceStats:
+    def test_update_vs_batch_series(self):
+        stats = MaintenanceStats("e")
+        stats.record_update(0.001, "apply")
+        stats.record_update(0.002, "update")
+        stats.record_update(0.01, "apply_batch")
+        assert stats.updates == 2
+        assert stats.batches == 1
+        assert stats.update_latency.count == 2
+        assert stats.batch_latency.count == 1
+
+    def test_to_dict_is_json_able(self):
+        stats = MaintenanceStats("e")
+        stats.record_update(0.001)
+        stats.record_delta("V_A", 3)
+        stats.record_enum_delay(0.0001)
+        stats.record_migration(5, to_heavy=True)
+        stats.record_repartition(4.0)
+        stats.record_ops({"lookup": 7})
+        payload = json.loads(json.dumps(stats.to_dict()))
+        assert payload["updates"] == 1
+        assert payload["delta_sizes"]["V_A"]["count"] == 1
+        assert payload["rebalance"]["migrations"] == 1
+        assert payload["rebalance"]["repartitions"] == 1
+        assert payload["ops"] == {"lookup": 7}
+
+    def test_render_mentions_key_sections(self):
+        stats = MaintenanceStats("engine-x")
+        stats.record_update(0.001)
+        stats.record_delta("V_A", 2)
+        stats.record_migration(1, to_heavy=False)
+        text = stats.render()
+        assert "engine-x" in text
+        assert "delta sizes" in text
+        assert "rebalancing" in text
+
+    def test_merge(self):
+        a, b = MaintenanceStats("a"), MaintenanceStats("b")
+        a.record_update(0.001)
+        b.record_update(0.002)
+        b.record_delta("V", 4)
+        a.merge(b)
+        assert a.updates == 2
+        assert a.delta_sizes["V"].count == 1
+
+
+class _ToyEngine(Observable):
+    def __init__(self):
+        self.applied = []
+
+    @observed
+    def apply(self, update):
+        self.applied.append(update)
+
+    @observed
+    def apply_batch(self, batch):
+        for update in batch:
+            self.apply(update)
+
+
+class TestObservedDecorator:
+    def test_no_stats_no_recording(self):
+        engine = _ToyEngine()
+        engine.apply("u")
+        assert engine.stats is None
+
+    def test_attach_records_latency(self):
+        engine = _ToyEngine()
+        stats = engine.attach_stats()
+        engine.apply("u1")
+        engine.apply("u2")
+        assert stats.updates == 2
+        assert stats.update_latency.count == 2
+        assert stats.engine == "_ToyEngine"
+
+    def test_outermost_frame_wins(self):
+        # apply_batch loops over decorated apply: the shared recorder
+        # must count one batch, not also three updates.
+        engine = _ToyEngine()
+        stats = engine.attach_stats()
+        engine.apply_batch(["u1", "u2", "u3"])
+        assert stats.batches == 1
+        assert stats.updates == 0
+        assert len(engine.applied) == 3
+
+    def test_detach(self):
+        engine = _ToyEngine()
+        stats = engine.attach_stats()
+        assert engine.detach_stats() is stats
+        engine.apply("u")
+        assert stats.updates == 0
+
+    def test_exceptions_still_recorded(self):
+        class Exploding(Observable):
+            @observed
+            def apply(self, update):
+                raise RuntimeError("boom")
+
+        engine = Exploding()
+        stats = engine.attach_stats()
+        with pytest.raises(RuntimeError):
+            engine.apply("u")
+        assert stats.updates == 1  # the attempt is still a sample
+
+
+class TestObservedEnumeration:
+    def test_counts_and_delays(self):
+        stats = MaintenanceStats("e")
+        values = list(observed_enumeration(stats, iter([1, 2, 3])))
+        assert values == [1, 2, 3]
+        assert stats.enumerations == 1
+        assert stats.tuples_enumerated == 3
+        assert stats.enum_delay.count == 3
+
+    def test_none_stats_pass_through(self):
+        assert list(observed_enumeration(None, [1, 2])) == [1, 2]
+
+
+class TestEngineIntegration:
+    def _small_engine(self):
+        from repro import IVMEngine
+
+        db = Database()
+        db.create("R", ("A", "B"))
+        db.create("S", ("B",))
+        return IVMEngine(parse_query("Q(A) = R(A, B) * S(B)"), db)
+
+    def test_facade_shares_recorder_with_backend(self):
+        engine = self._small_engine()
+        stats = engine.attach_stats()
+        assert engine.backend.stats is stats
+        for i in range(20):
+            engine.insert("R", i % 3, i % 4)
+            engine.insert("S", i % 4)
+        assert stats.updates == 40
+        # View-tree delta sizes were recorded per view.
+        assert any(view.startswith("V_") for view in stats.delta_sizes)
+
+    def test_enumeration_delay_sampled(self):
+        engine = self._small_engine()
+        stats = engine.attach_stats()
+        engine.insert("R", 1, 2)
+        engine.insert("S", 2)
+        assert list(engine.enumerate()) == [((1,), 1)]
+        assert stats.enumerations == 1
+        assert stats.tuples_enumerated == 1
+
+    def test_triangle_counter_rebalance_events(self):
+        import random
+
+        from repro.ivme.triangle import TriangleCounter
+
+        counter = TriangleCounter(epsilon=0.5)
+        stats = counter.attach_stats()
+        rng = random.Random(7)
+        for _ in range(300):
+            counter.apply(
+                Update(
+                    rng.choice("RST"),
+                    (rng.randrange(5), rng.randrange(5)),
+                    1,
+                )
+            )
+        assert stats.updates == 300
+        assert stats.repartitions > 0
+
+    def test_tradeoff_engine_observable(self):
+        from repro.ivme.hierarchical import TradeoffEngine
+
+        engine = TradeoffEngine(epsilon=0.5)
+        stats = engine.attach_stats()
+        for i in range(40):
+            engine.apply(Update("R", (i % 5, i % 3), 1))
+            engine.apply(Update("S", (i % 3,), 1))
+        assert stats.updates == 80
+        assert engine.R.stats is stats
+
+    def test_strategies_observable(self):
+        from repro.viewtree import make_strategy
+
+        db = Database()
+        db.create("R", ("Y", "X"))
+        db.create("S", ("Y", "Z"))
+        query = parse_query("Q(Y, X, Z) = R(Y, X) * S(Y, Z)")
+        for name in ("eager-fact", "lazy-list"):
+            strategy = make_strategy(name, query, db.copy())
+            stats = strategy.attach_stats()
+            strategy.apply(Update("R", (1, 2), 1))
+            strategy.apply(Update("S", (1, 3), 1))
+            count = strategy.enumerate_count()
+            assert count == 1
+            assert stats.updates == 2, name
+            assert stats.tuples_enumerated >= 1, name
+
+
+class TestStatsExport:
+    def test_stats_record_schema(self):
+        stats = MaintenanceStats("e")
+        record = stats_record(stats, meta={"query": "Q"})
+        assert record["schema"] == STATS_SCHEMA
+        assert record["engine"] == "e"
+        assert record["meta"] == {"query": "Q"}
+
+    def test_write_stats_json(self, tmp_path):
+        stats = MaintenanceStats("e")
+        stats.record_update(0.001)
+        path = write_stats_json(str(tmp_path / "out.json"), stats)
+        with open(path) as handle:
+            data = json.load(handle)
+        assert data["schema"] == STATS_SCHEMA
+        assert data["stats"]["updates"] == 1
