@@ -114,6 +114,35 @@ def demo() -> int:
     return 0
 
 
+def _make_value_sampler(rng, domain: int, workload: str, zipf_s: float):
+    """A ``() -> int`` attribute-value sampler for the chosen workload.
+
+    ``uniform`` draws each value with equal probability; ``zipf`` draws
+    value ``k`` with probability proportional to ``1/(k+1)**s``, so a few
+    hot join-key values dominate — the adversarial shape for hash
+    sharding (hot keys pile onto one shard) and for heavy/light
+    partitioning schemes.
+    """
+    if workload == "uniform":
+        return lambda: rng.randrange(domain)
+    if workload == "zipf":
+        import bisect
+        import itertools
+
+        weights = [1.0 / (k + 1) ** zipf_s for k in range(domain)]
+        cumulative = list(itertools.accumulate(weights))
+        total = cumulative[-1]
+
+        def sample() -> int:
+            return min(
+                bisect.bisect_left(cumulative, rng.random() * total),
+                domain - 1,
+            )
+
+        return sample
+    raise ValueError(f"unknown workload shape {workload!r}")
+
+
 def run_stats(
     text: str,
     fd_texts: list[str],
@@ -125,6 +154,9 @@ def run_stats(
     batch: int,
     enum_interval: int,
     json_path: str | None,
+    shards: int = 1,
+    workload: str = "uniform",
+    zipf_s: float = 1.2,
 ) -> int:
     """Replay a synthetic workload and print/dump the stats recorder."""
     import random
@@ -135,10 +167,12 @@ def run_stats(
     from .data.database import Database
     from .data.update import Update
     from .obs import write_stats_json
+    from .shard.engine import ShardedEngine
 
     query = parse_query(text)
     fds = tuple(FunctionalDependency.parse(t) for t in fd_texts)
     rng = random.Random(seed)
+    value = _make_value_sampler(rng, domain, workload, zipf_s)
 
     db = Database()
     static_names = {atom.relation for atom in getattr(query, "static_atoms", ())}
@@ -155,46 +189,70 @@ def run_stats(
         return 1
 
     def random_key(relation: str) -> tuple:
-        return tuple(rng.randrange(domain) for _ in range(arities[relation]))
+        return tuple(value() for _ in range(arities[relation]))
 
     for name in arities:
         for _ in range(prefill):
             db[name].add(random_key(name), 1)
 
-    plan = plan_maintenance(query, fds, insert_only)
-    engine = IVMEngine(query, db, fds, insert_only, plan=plan)
+    plan = plan_maintenance(query, fds, insert_only, shards=shards)
+    engine = IVMEngine(query, db, fds, insert_only, plan=plan, shards=shards)
     stats = engine.attach_stats()
     deletes_ok = not insert_only and plan.strategy != "insert-only"
     can_enumerate = not query.input_variables
+    sharded = isinstance(engine.backend, ShardedEngine)
+
+    def drain() -> None:
+        for _ in engine.enumerate():
+            pass
 
     # A valid update stream: deletes only retract still-live insertions,
     # so multiplicities stay non-negative and enumeration stays sound.
+    # Sharded plans get the stream in batches of ``--batch`` so the
+    # coordinator splits once and runs the shard engines in parallel.
     live: dict[str, list[tuple]] = {name: [] for name in dynamic}
+    pending: list[Update] = []
     start = time.perf_counter()
     for index in range(updates):
         relation = dynamic[rng.randrange(len(dynamic))]
         keys = live[relation]
         if deletes_ok and keys and rng.random() < 0.25:
             key = keys.pop(rng.randrange(len(keys)))
-            engine.apply(Update(relation, key, -1))
+            update = Update(relation, key, -1)
         else:
             key = random_key(relation)
             keys.append(key)
-            engine.apply(Update(relation, key, 1))
+            update = Update(relation, key, 1)
+        if sharded:
+            pending.append(update)
+            if len(pending) >= max(batch, 1):
+                engine.apply_batch(pending)
+                pending.clear()
+        else:
+            engine.apply(update)
         if (
             can_enumerate
             and enum_interval
-            and (index + 1) % (batch * enum_interval) == 0
+            and (index + 1) % (max(batch, 1) * enum_interval) == 0
         ):
-            for _ in engine.enumerate():
-                pass
+            if pending:
+                engine.apply_batch(pending)
+                pending.clear()
+            drain()
+    if pending:
+        engine.apply_batch(pending)
+        pending.clear()
     if can_enumerate:
-        for _ in engine.enumerate():
-            pass
+        drain()
     seconds = time.perf_counter() - start
+
+    if sharded:
+        stats = engine.backend.merged_stats()
+        engine.backend.close()
 
     print(f"query: {query}")
     print(f"plan:  {plan.strategy}  ({plan.reason})")
+    print(f"workload: {workload}" + (f" (s={zipf_s})" if workload == "zipf" else ""))
     print()
     print(stats.render())
     print()
@@ -212,6 +270,9 @@ def run_stats(
                 "domain": domain,
                 "seed": seed,
                 "seconds": seconds,
+                "shards": shards,
+                "workload": workload,
+                "zipf_s": zipf_s if workload == "zipf" else None,
             },
         )
         print(f"stats written to {written}")
@@ -280,6 +341,19 @@ def main(argv: list[str] | None = None) -> int:
         "--json", metavar="PATH", default=None,
         help="also dump the recorder as repro.obs/1 JSON",
     )
+    stats_parser.add_argument(
+        "--shards", type=int, default=1,
+        help="hash-partition view-tree maintenance across N shards "
+        "(default 1 = unsharded)",
+    )
+    stats_parser.add_argument(
+        "--workload", choices=("uniform", "zipf"), default="uniform",
+        help="attribute value distribution (default uniform)",
+    )
+    stats_parser.add_argument(
+        "--zipf-s", type=float, default=1.2,
+        help="Zipf skew exponent for --workload zipf (default 1.2)",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "classify":
@@ -298,6 +372,9 @@ def main(argv: list[str] | None = None) -> int:
             args.batch,
             args.enum_interval,
             args.json,
+            args.shards,
+            args.workload,
+            args.zipf_s,
         )
     return 1  # pragma: no cover
 

@@ -31,6 +31,7 @@ from ..query.ast import Query
 from ..query.properties import is_q_hierarchical
 from ..query.variable_order import search_order
 from ..rings.lifting import LiftingMap
+from ..shard.engine import ShardedEngine
 from ..staticdyn.engine import StaticDynamicEngine
 from ..viewtree.engine import ViewTreeEngine
 from .planner import Plan, plan_maintenance
@@ -56,13 +57,15 @@ class IVMEngine(Observable):
         insert_only: bool = False,
         lifting: LiftingMap | None = None,
         plan: Plan | None = None,
+        shards: int = 1,
+        shard_executor: str = "thread",
     ):
         self.query = query
         self.database = database
-        self.plan = plan or plan_maintenance(query, fds, insert_only)
+        self.plan = plan or plan_maintenance(query, fds, insert_only, shards=shards)
         strategy = self.plan.strategy
 
-        if strategy == "viewtree" or strategy == "viewtree-hierarchical":
+        if strategy in ("viewtree", "viewtree-hierarchical", "sharded-viewtree"):
             # q-hierarchical queries get their canonical (free-top) order;
             # merely-hierarchical ones need a searched free-top order so
             # that enumeration works (updates are then rightly costlier —
@@ -70,7 +73,19 @@ class IVMEngine(Observable):
             order = None
             if query.head and not is_q_hierarchical(query):
                 order = search_order(query, require_free_top=True)
-            self._engine = ViewTreeEngine(query, database, order, lifting=lifting)
+            if strategy == "sharded-viewtree":
+                self._engine = ShardedEngine(
+                    query,
+                    database,
+                    shards=max(shards, 1),
+                    order=order,
+                    lifting=lifting,
+                    executor=shard_executor,
+                )
+            else:
+                self._engine = ViewTreeEngine(
+                    query, database, order, lifting=lifting
+                )
         elif strategy == "fd-viewtree":
             self._engine = FDEngine(query, fds, database, lifting=lifting)
         elif strategy == "static-dynamic":
@@ -111,6 +126,12 @@ class IVMEngine(Observable):
             engine.apply(update)
 
     def apply_batch(self, batch) -> None:
+        engine = self._engine
+        if isinstance(engine, ShardedEngine):
+            # Hand the whole batch to the coordinator so it splits once
+            # and runs the shard engines in parallel.
+            engine.apply_batch(list(batch))
+            return
         for update in batch:
             self.apply(update)
 
@@ -151,7 +172,7 @@ class IVMEngine(Observable):
         engine = self._engine
         if isinstance(engine, TriangleCounter):
             return engine.count
-        if isinstance(engine, (ViewTreeEngine, StaticDynamicEngine)):
+        if isinstance(engine, (ViewTreeEngine, StaticDynamicEngine, ShardedEngine)):
             return engine.scalar()
         if isinstance(engine, DeltaQueryEngine):
             return engine.scalar()

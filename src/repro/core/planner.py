@@ -65,13 +65,41 @@ def _is_triangle_shaped(query: Query) -> bool:
     return all(count == 2 for count in counts.values())
 
 
+#: Strategies whose engine is a plain view tree and thus shardable.
+_SHARDABLE_STRATEGIES = frozenset({"viewtree", "viewtree-hierarchical"})
+
+
 def plan_maintenance(
     query: Query,
     fds: Iterable[FunctionalDependency] = (),
     insert_only: bool = False,
+    shards: int = 1,
 ) -> Plan:
-    """Choose a maintenance plan following the Section 6 decision ladder."""
-    fds = tuple(fds)
+    """Choose a maintenance plan following the Section 6 decision ladder.
+
+    With ``shards > 1`` the planner upgrades a (plain) view-tree plan to
+    ``sharded-viewtree``: view-tree maintenance is key-partitioned group
+    work, so hash shards of the join key maintain disjoint view slices
+    in parallel.  Strategies with cross-shard state (IVM^eps partitions,
+    CQAP fractures, delta materializations) keep their unsharded plan.
+    """
+    plan = _plan_unsharded(query, tuple(fds), insert_only)
+    if shards > 1 and plan.strategy in _SHARDABLE_STRATEGIES:
+        return Plan(
+            "sharded-viewtree",
+            f"{plan.reason}; hash-partitioned across {shards} shards",
+            f"{plan.update_time} per shard",
+            plan.enumeration_delay,
+            plan.preprocessing_time,
+        )
+    return plan
+
+
+def _plan_unsharded(
+    query: Query,
+    fds: tuple[FunctionalDependency, ...],
+    insert_only: bool,
+) -> Plan:
 
     if query.input_variables:
         if is_tractable_cqap(query):

@@ -14,6 +14,7 @@ from .update import (
     delta_relation,
     insert,
     permuted,
+    split_batch,
 )
 
 __all__ = [
@@ -37,4 +38,5 @@ __all__ = [
     "measure_ops",
     "permuted",
     "relation_from_rows",
+    "split_batch",
 ]

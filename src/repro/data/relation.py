@@ -24,18 +24,26 @@ from .schema import Schema
 
 
 class GroupIndex:
-    """Secondary index grouping a relation's keys by a schema subset."""
+    """Secondary index grouping a relation's keys by a schema subset.
 
-    __slots__ = ("group_vars", "_project", "groups")
+    Stores plain position tuples rather than a projection closure, so
+    indexed relations stay picklable (process-pool sharding ships whole
+    engines between processes).
+    """
+
+    __slots__ = ("group_vars", "_positions", "groups")
 
     def __init__(self, schema: Schema, group_vars: tuple[str, ...]):
         self.group_vars = group_vars
-        self._project = schema.projector(group_vars)
+        self._positions = schema.positions(group_vars)
         # group key -> dict used as an insertion-ordered set of full keys
         self.groups: dict[tuple, dict[tuple, None]] = {}
 
+    def _project(self, key: tuple) -> tuple:
+        return tuple(key[i] for i in self._positions)
+
     def add(self, key: tuple) -> None:
-        group_key = self._project(key)
+        group_key = tuple(key[i] for i in self._positions)
         bucket = self.groups.get(group_key)
         if bucket is None:
             bucket = {}
@@ -43,12 +51,22 @@ class GroupIndex:
         bucket[key] = None
 
     def remove(self, key: tuple) -> None:
-        group_key = self._project(key)
+        group_key = tuple(key[i] for i in self._positions)
         bucket = self.groups.get(group_key)
         if bucket is not None:
             bucket.pop(key, None)
             if not bucket:
                 del self.groups[group_key]
+
+    def copy(self) -> "GroupIndex":
+        """Structural copy sharing no mutable state with the original."""
+        clone = object.__new__(GroupIndex)
+        clone.group_vars = self.group_vars
+        clone._positions = self._positions
+        clone.groups = {
+            group_key: dict(bucket) for group_key, bucket in self.groups.items()
+        }
+        return clone
 
     def keys_in_group(self, group_key: tuple) -> Iterator[tuple]:
         bucket = self.groups.get(group_key)
@@ -243,8 +261,20 @@ class Relation:
     # ------------------------------------------------------------------
 
     def copy(self, name: str | None = None) -> "Relation":
+        """Copy the relation *including* its group indexes.
+
+        Copying entries is real work — one write per tuple plus one index
+        posting per (index, tuple) pair — and is counted as such, so
+        ``COUNTER``-based complexity assertions see it.  Carrying the
+        indexes over means a copy never repays the O(n) index builds the
+        original already performed.
+        """
         clone = Relation(name or self.name, self.schema, self.ring)
+        COUNTER.bump("write", len(self.data))
         clone.data = dict(self.data)
+        for group_vars, index in self._indexes.items():
+            COUNTER.bump("write", len(self.data))
+            clone._indexes[group_vars] = index.copy()
         return clone
 
     def project_onto(self, variables: Iterable[str], name: str | None = None) -> "Relation":
@@ -286,10 +316,28 @@ class Relation:
         )
 
     def pretty(self, limit: int = 20) -> str:
-        """Small fixed-width rendering, used by examples and docs."""
+        """Small fixed-width rendering, used by examples and docs.
+
+        Keys are sorted with a type-tagged key, so relations mixing value
+        types (ints and strings in the same column) render deterministically
+        instead of raising ``TypeError`` from a cross-type comparison.
+        """
+
+        def tagged(item: tuple[tuple, Any]) -> tuple:
+            return tuple((type(v).__name__, v) for v in item[0])
+
+        try:
+            entries = sorted(self.data.items(), key=tagged)
+        except TypeError:
+            # Same-type values that refuse ordering (complex, dicts, ...):
+            # fall back to a repr ordering, still deterministic.
+            entries = sorted(
+                self.data.items(),
+                key=lambda item: tuple(repr(v) for v in item[0]),
+            )
         header = " ".join(self.schema.variables) + " | payload"
         lines = [header, "-" * len(header)]
-        for i, (key, payload) in enumerate(sorted(self.data.items())):
+        for i, (key, payload) in enumerate(entries):
             if i == limit:
                 lines.append(f"... ({len(self.data) - limit} more)")
                 break

@@ -67,11 +67,30 @@ class PartitionedRelation:
         self.set_threshold(threshold)
 
     def set_threshold(self, threshold: float) -> None:
-        """Set the heavy bound; callers should re-partition afterwards."""
+        """Set the heavy bound and migrate values across the new bounds.
+
+        The migration happens here, not in the caller: a forgotten
+        re-partition after a threshold change used to leave heavy values
+        stranded below the demotion bound (and light values above the
+        promotion bound), silently breaking the partition invariant every
+        complexity argument rests on.  Registered listeners fire for each
+        migrated value exactly as for update-driven migrations.
+        """
         if threshold < 1:
             threshold = 1
         self.threshold = threshold
         self._demote_below = threshold / self.hysteresis
+        self._enforce_threshold()
+
+    def _enforce_threshold(self) -> None:
+        """Migrate every value to the side the current threshold demands."""
+        for value in list(self._degrees):
+            degree = self._degrees.get(value, 0)
+            if value in self._heavy_values:
+                if degree < self.threshold:
+                    self._migrate(value, to_heavy=False)
+            elif degree >= self.threshold:
+                self._migrate(value, to_heavy=True)
 
     def add_listener(self, listener: MigrationListener) -> None:
         self._listeners.append(listener)
@@ -163,16 +182,14 @@ class PartitionedRelation:
         ``N^epsilon`` — has drifted, so the partition is recomputed in
         one O(N) pass (listeners are notified per migrated value).
         """
+        if self.stats is not None:
+            self.stats.record_repartition(
+                self.threshold if threshold is None else max(1, threshold)
+            )
         if threshold is not None:
             self.set_threshold(threshold)
-        if self.stats is not None:
-            self.stats.record_repartition(self.threshold)
-        for value in list(self._degrees):
-            degree = self._degrees[value]
-            if value in self._heavy_values and degree < self.threshold:
-                self._migrate(value, to_heavy=False)
-            elif value not in self._heavy_values and degree >= self.threshold:
-                self._migrate(value, to_heavy=True)
+        else:
+            self._enforce_threshold()
 
     # ------------------------------------------------------------------
     # Group access helpers (delegate to the parts)

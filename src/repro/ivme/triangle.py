@@ -248,10 +248,9 @@ class TriangleCounter(Observable):
         """
         size = self.size()
         threshold = max(1.0, size**self.epsilon)
-        for partitioned in (self.R, self.S, self.T):
-            partitioned.set_threshold(threshold)
-        # Clear views first: migrations during repartition would otherwise
-        # patch views we are about to rebuild.
+        # Clear views and detach listeners *before* touching thresholds:
+        # set_threshold migrates eagerly, and migrations would otherwise
+        # patch views we are about to rebuild from scratch.
         self.V_ST.clear()
         self.V_TR.clear()
         self.V_RS.clear()
@@ -261,7 +260,7 @@ class TriangleCounter(Observable):
             partitioned._listeners = []
         try:
             for partitioned in (self.R, self.S, self.T):
-                partitioned.repartition()
+                partitioned.repartition(threshold)
         finally:
             for partitioned, saved in zip((self.R, self.S, self.T), listeners_backup):
                 partitioned._listeners = saved

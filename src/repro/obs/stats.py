@@ -29,6 +29,19 @@ from typing import Any, Iterable
 #: Smallest latency bucket boundary (100 ns — below timer resolution).
 _BASE = 1e-7
 
+#: Shard-summary fields that add when the same label is merged twice.
+_SUMMARY_COUNT_KEYS = frozenset(
+    {
+        "updates",
+        "batches",
+        "enumerations",
+        "tuples_enumerated",
+        "migrations",
+        "repartitions",
+        "ops",
+    }
+)
+
 
 class RunningStat:
     """Count/total/min/max accumulator for a stream of numbers."""
@@ -159,6 +172,8 @@ class MaintenanceStats:
         self.repartitions = 0
         #: Elementary op totals folded in via record_ops / op_scope.
         self.ops: dict[str, int] = {}
+        #: Per-shard summaries recorded by labelled merges (sharded runs).
+        self.shard_summaries: dict[str, dict] = {}
         # Reentrancy guard: engines stack (facade -> cascade -> view tree),
         # and only the outermost observed call should count the update.
         self._depth = 0
@@ -206,7 +221,41 @@ class MaintenanceStats:
     # Aggregation and export
     # ------------------------------------------------------------------
 
-    def merge(self, other: "MaintenanceStats") -> None:
+    def merge(self, other: "MaintenanceStats", label: str | None = None) -> None:
+        """Fold ``other`` into this recorder.
+
+        With ``label`` (e.g. ``"shard3"``) the merge is *labelled*: the
+        other recorder is summarized under that label in
+        :attr:`shard_summaries`, its delta-size series are kept apart as
+        ``"<label>/<view>"``, and its elementary ops roll up — but its
+        update/batch counts and latency histograms do **not** add into
+        the top-level series.  A shard coordinator already records every
+        logical update once; adding each shard's count again would count
+        broadcast updates once per shard.
+
+        Unlabelled merges behave as before (associative recorder
+        composition) and carry any shard summaries of ``other`` along.
+        """
+        if label is not None:
+            self.shard_summaries[label] = {
+                "engine": other.engine,
+                "updates": other.updates,
+                "batches": other.batches,
+                "update_mean_s": other.update_latency.stat.mean,
+                "batch_mean_s": other.batch_latency.stat.mean,
+                "enumerations": other.enumerations,
+                "tuples_enumerated": other.tuples_enumerated,
+                "migrations": other.migrations,
+                "repartitions": other.repartitions,
+                "ops": sum(other.ops.values()),
+            }
+            for view, stat in other.delta_sizes.items():
+                mine = self.delta_sizes.get(f"{label}/{view}")
+                if mine is None:
+                    mine = self.delta_sizes[f"{label}/{view}"] = RunningStat()
+                mine.merge(stat)
+            self.record_ops(other.ops)
+            return
         self.updates += other.updates
         self.batches += other.batches
         self.update_latency.merge(other.update_latency)
@@ -223,6 +272,19 @@ class MaintenanceStats:
         self.tuples_migrated += other.tuples_migrated
         self.repartitions += other.repartitions
         self.record_ops(other.ops)
+        for shard_label, summary in other.shard_summaries.items():
+            mine = self.shard_summaries.get(shard_label)
+            if mine is None:
+                self.shard_summaries[shard_label] = dict(summary)
+            else:
+                # Same label seen twice: counts add, means are recomputed
+                # poorly at best — keep the counts exact and let the
+                # latest merge win on the rest.
+                for key, value in summary.items():
+                    if key in _SUMMARY_COUNT_KEYS and key in mine:
+                        mine[key] += value
+                    else:
+                        mine[key] = value
 
     def to_dict(self) -> dict:
         """Plain-JSON snapshot (the ``repro.obs/1`` stats payload)."""
@@ -245,6 +307,10 @@ class MaintenanceStats:
                 "repartitions": self.repartitions,
             },
             "ops": dict(sorted(self.ops.items())),
+            "shards": {
+                label: dict(summary)
+                for label, summary in sorted(self.shard_summaries.items())
+            },
         }
 
     def render(self) -> str:
@@ -292,6 +358,15 @@ class MaintenanceStats:
                 f"{kind}={count}" for kind, count in sorted(self.ops.items())
             )
             lines.append(f"elementary ops: {total}  ({detail})")
+        if self.shard_summaries:
+            lines.append("per-shard maintenance:")
+            for label, summary in sorted(self.shard_summaries.items()):
+                lines.append(
+                    f"  {label}: updates={summary.get('updates', 0)}  "
+                    f"batches={summary.get('batches', 0)}  "
+                    f"mean={summary.get('update_mean_s', 0.0):.3g}s  "
+                    f"ops={summary.get('ops', 0)}"
+                )
         return "\n".join(lines)
 
     def __repr__(self) -> str:

@@ -20,15 +20,34 @@ from .base import Semiring
 Lifting = Callable[[Any], Any]
 
 
+class ConstantLifting:
+    """Lift every value to one fixed ring element.
+
+    A named class (not a lambda) so engines holding liftings stay
+    picklable — the process-pool shard executor ships engines whole.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __call__(self, _value: Any) -> Any:
+        return self.value
+
+
+def _identity(value: Any) -> Any:
+    return value
+
+
 def count_lifting(ring: Semiring) -> Lifting:
     """Lift every value to ``1``; marginalization then counts tuples."""
-    one = ring.one
-    return lambda _value: one
+    return ConstantLifting(ring.one)
 
 
 def identity_lifting(_ring: Semiring) -> Lifting:
     """Lift a numeric value to itself; marginalization then sums values."""
-    return lambda value: value
+    return _identity
 
 
 class LiftingMap:

@@ -1,0 +1,25 @@
+"""Sharded parallel view-tree maintenance (the F-IVM model, N times).
+
+View trees maintain every view by key-partitioned group updates, so hash
+shards of a join variable maintain disjoint view slices independently.
+This package provides the router that partitions base relations and
+update streams (:class:`ShardRouter`), and the coordinator that runs one
+view-tree engine per shard on an executor and merges outputs and
+statistics (:class:`ShardedEngine`).
+"""
+
+from .engine import ShardedEngine
+from .router import (
+    ShardLeafFilter,
+    ShardRouter,
+    choose_shard_variable,
+    stable_hash,
+)
+
+__all__ = [
+    "ShardLeafFilter",
+    "ShardRouter",
+    "ShardedEngine",
+    "choose_shard_variable",
+    "stable_hash",
+]

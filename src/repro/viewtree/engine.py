@@ -109,7 +109,22 @@ class ViewTreeEngine(Observable):
         database: Database,
         order: VariableOrder | None = None,
         lifting: LiftingMap | None = None,
+        stats=None,
+        leaf_filter=None,
     ):
+        """Build the view tree over ``database``.
+
+        ``stats`` injects a :class:`~repro.obs.MaintenanceStats` recorder
+        at construction time (equivalent to calling :meth:`attach_stats`
+        immediately) — shard coordinators use this to hand every shard
+        its own labelled recorder.
+
+        ``leaf_filter`` is an optional ``(relation_name, key) -> bool``
+        predicate; when given, leaves materialize only the base tuples it
+        accepts.  Combined with ``apply(update, update_base=False)`` this
+        lets several engines share one database, each maintaining a
+        disjoint hash shard of it.
+        """
         self.query = query
         self.database = database
         self.ring = database.ring
@@ -120,12 +135,15 @@ class ViewTreeEngine(Observable):
             or self.order.query.head != query.head
         ):
             raise ValueError("variable order was built for a different query")
+        self._leaf_filter = leaf_filter
 
         self.roots: list[ViewNode] = []
         #: relation name -> list of (atom, anchor ViewNode, leaf Relation)
         self._anchors: dict[str, list[tuple[Atom, ViewNode, Relation]]] = {}
         for var_root in self.order.roots:
             self.roots.append(self._build_node(var_root, None))
+        if stats is not None:
+            self.attach_stats(stats)
 
     # ------------------------------------------------------------------
     # Construction
@@ -166,7 +184,15 @@ class ViewTreeEngine(Observable):
                 f"{base.schema.variables!r}"
             )
         leaf = Relation(f"leaf_{atom}", Schema(atom.variables), self.ring)
-        leaf.data = dict(base.data)
+        if self._leaf_filter is None:
+            leaf.data = dict(base.data)
+        else:
+            keep = self._leaf_filter
+            leaf.data = {
+                key: payload
+                for key, payload in base.data.items()
+                if keep(atom.relation, key)
+            }
         return leaf
 
     # ------------------------------------------------------------------
@@ -208,11 +234,12 @@ class ViewTreeEngine(Observable):
         """
         batch = list(batch)
         if rebuild_factor is not None:
+            # Count each base relation once: a relation anchored at
+            # several atoms contributes one leaf copy per atom, and
+            # summing every copy inflated the crossover against batches
+            # measured in distinct database tuples.
             leaf_size = sum(
-                len(leaf)
-                for root in self.roots
-                for node in root.walk()
-                for _, leaf in node.leaves
+                len(anchors[0][2]) for anchors in self._anchors.values()
             )
             if len(batch) >= rebuild_factor * max(leaf_size, 1):
                 for update in batch:

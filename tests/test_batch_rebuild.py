@@ -1,7 +1,7 @@
 """Batch application with the rebuild crossover (propagate vs recompute)."""
 
 from repro.data import Database, Update, counting
-from repro.naive import evaluate
+from repro.naive import evaluate, evaluate_scalar
 from repro.query import parse_query
 from repro.viewtree import ViewTreeEngine
 from tests.conftest import valid_stream
@@ -85,3 +85,31 @@ class TestBatchApplication:
         rebuild_cost = ops.total()
         assert rebuild_cost < propagate_cost
         assert engine.output_relation() == engine2.output_relation()
+
+    def test_crossover_counts_each_relation_once(self, rng):
+        """Regression: the heuristic summed every anchored leaf copy, so
+        a self-join double-counted its base relation and the crossover
+        fired at twice the batch size ``rebuild_factor`` promised."""
+        class CountingRebuilds(ViewTreeEngine):
+            def rebuild(self):
+                self.rebuild_calls = getattr(self, "rebuild_calls", 0) + 1
+                super().rebuild()
+
+        query = parse_query("Q() = R(A, B) * R(B, C)")
+        db = Database()
+        r = db.create("R", ("A", "B"))
+        for _ in range(30):
+            r.insert(rng.randrange(6), rng.randrange(6))
+        engine = CountingRebuilds(query, db)
+        n = len(r)
+        assert n > 5
+        before = getattr(engine, "rebuild_calls", 0)
+        # n < |batch| < 2n: rebuilds iff the relation is counted once.
+        batch = [
+            Update("R", (rng.randrange(6), rng.randrange(6)), 1)
+            for _ in range(n + 5)
+        ]
+        engine.apply_batch(list(batch), rebuild_factor=1.0)
+        after = getattr(engine, "rebuild_calls", 0)
+        assert after == before + 1, "batch propagated instead of rebuilding"
+        assert engine.scalar() == evaluate_scalar(query, db)

@@ -108,6 +108,39 @@ class TestStats:
         assert data["meta"]["plan"] == "ivm-eps-triangle"
         assert data["meta"]["updates"] == 300
 
+    def test_sharded_zipf_replay(self, tmp_path, capsys):
+        path = tmp_path / "sharded.json"
+        code = main(
+            [
+                "stats",
+                "Q(B,A) = R(B,A) * S(B)",
+                "--updates",
+                "400",
+                "--shards",
+                "4",
+                "--workload",
+                "zipf",
+                "--zipf-s",
+                "1.5",
+                "--json",
+                str(path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "plan:  sharded-viewtree" in out
+        assert "workload: zipf" in out
+        assert "per-shard maintenance:" in out
+        with open(path) as handle:
+            data = json.load(handle)
+        assert data["schema"] == "repro.obs/1"
+        assert data["meta"]["plan"] == "sharded-viewtree"
+        assert data["meta"]["shards"] == 4
+        assert data["meta"]["workload"] == "zipf"
+        shards = data["stats"]["shards"]
+        assert set(shards) == {f"shard{i}" for i in range(4)}
+        assert sum(s["batches"] for s in shards.values()) > 0
+
     def test_static_only_query_refused(self, capsys):
         code = main(["stats", "Q(A,B) = R@s(A,B)", "--updates", "10"])
         assert code == 1

@@ -181,6 +181,36 @@ class TestRelation:
         text = rel.pretty()
         assert "A B" in text and "1 2 | 3" in text
 
+    def test_pretty_heterogeneous_key_types(self):
+        # Regression: sorting mixed int/str keys raised TypeError
+        # (int < str is unordered); pretty() must render regardless.
+        rel = Relation("R", ("A", "B"), data={(1, "x"): 1, ("a", 2): 2})
+        text = rel.pretty()
+        assert "1 x | 1" in text and "a 2 | 2" in text
+
+    def test_copy_carries_group_indexes(self):
+        # Regression: copy() used to drop the group indexes, so the
+        # clone silently repaid an O(n) rebuild on its next group().
+        rel = Relation("R", ("A", "B"), data={(1, 2): 1, (1, 3): 1, (2, 4): 1})
+        rel.index_on(("A",))
+        clone = rel.copy()
+        assert ("A",) in clone._indexes
+        # The carried index stays incrementally maintained on the clone
+        clone.insert(1, 9)
+        assert sorted(clone.group(("A",), (1,))) == [(1, 2), (1, 3), (1, 9)]
+        # ... and stays independent of the original's.
+        assert sorted(rel.group(("A",), (1,))) == [(1, 2), (1, 3)]
+
+    def test_copy_counts_writes(self):
+        # Regression: copy() bumped no op counters, so COUNTER-based
+        # complexity assertions saw copies as free.
+        rel = Relation("R", ("A", "B"), data={(1, 2): 1, (1, 3): 1, (2, 4): 1})
+        rel.index_on(("A",))
+        with counting() as counter:
+            rel.copy()
+        # one write per tuple plus one posting per (index, tuple) pair
+        assert counter["write"] == 2 * len(rel.data)
+
     def test_product_ring_payloads(self):
         ring = ProductRing(Z, Z)
         rel = Relation("R", ("A",), ring)

@@ -69,6 +69,32 @@ class TestPartitionedRelation:
         part.repartition(threshold=50)
         assert not part.is_heavy(1)
 
+    def test_set_threshold_migrates_eagerly(self):
+        # Regression: set_threshold used to record the new threshold but
+        # leave every tuple in its old part, so is_heavy/heavy/light
+        # disagreed with the threshold until the next repartition().
+        part = PartitionedRelation("R", ("A", "B"), "A", threshold=100)
+        for b in range(5):
+            part.add((1, b), 1)
+        assert not part.is_heavy(1)
+        part.set_threshold(3)
+        assert part.is_heavy(1)
+        assert len(part.heavy) == 5 and len(part.light) == 0
+        part.set_threshold(50)
+        assert not part.is_heavy(1)
+        assert len(part.light) == 5 and len(part.heavy) == 0
+
+    def test_set_threshold_notifies_listeners(self):
+        events = []
+        part = PartitionedRelation("R", ("A", "B"), "A", threshold=100)
+        part.add_listener(
+            lambda v, moved, heavy: events.append((v, len(moved), heavy))
+        )
+        for b in range(3):
+            part.add((1, b), 1)
+        part.set_threshold(2)
+        assert events == [(1, 3, True)]
+
     def test_invalid_construction(self):
         with pytest.raises(ValueError):
             PartitionedRelation("R", ("A",), "Z", 2)

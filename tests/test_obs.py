@@ -146,6 +146,33 @@ class TestMaintenanceStats:
         assert a.updates == 2
         assert a.delta_sizes["V"].count == 1
 
+    def test_labelled_merge_keeps_shard_identity(self):
+        total = MaintenanceStats("coordinator")
+        total.record_update(0.001)
+        shard = MaintenanceStats("worker")
+        shard.record_update(0.002)
+        shard.record_delta("V_A", 3)
+        total.merge(shard, label="shard0")
+        # the shard's work is summarised, not folded into the top-level
+        # counters — a logical update is counted once, by the coordinator
+        assert total.updates == 1
+        assert total.shard_summaries["shard0"]["updates"] == 1
+        assert "shard0/V_A" in total.delta_sizes
+        assert "V_A" not in total.delta_sizes
+        payload = total.to_dict()
+        assert payload["shards"]["shard0"]["updates"] == 1
+        assert "shard0" in total.render()
+
+    def test_unlabelled_merge_folds_shard_summaries(self):
+        a, b = MaintenanceStats("a"), MaintenanceStats("b")
+        shard = MaintenanceStats("worker")
+        shard.record_update(0.002)
+        a.merge(shard, label="shard0")
+        b.merge(shard, label="shard0")
+        a.merge(b)
+        # count fields add on label collision
+        assert a.shard_summaries["shard0"]["updates"] == 2
+
 
 class _ToyEngine(Observable):
     def __init__(self):

@@ -17,7 +17,9 @@ from repro.data import Database, Update
 from repro.delta import DeltaQueryEngine
 from repro.naive import evaluate
 from repro.query import Atom, Query, canonical_order, is_q_hierarchical
+from repro.shard import ShardedEngine
 from repro.viewtree import ViewTreeEngine
+from tests.conftest import valid_stream
 
 
 @st.composite
@@ -129,6 +131,64 @@ class TestDeltaEngineOnRandomHierarchicalQueries:
             {"seed": seed, "length": 30},
         )
         assert engine.result() == evaluate(query, db)
+
+
+class TestShardInvariance:
+    """Sharded maintenance must be bit-identical to the plain engine:
+    same output relation, same enumeration contents, any shard count."""
+
+    @given(hierarchical_query(), st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_shard_count_invariance(self, query, seed):
+        spec = {"seed": seed, "length": 40}
+        plain, db0 = _run_stream(
+            query, lambda db: ViewTreeEngine(query, db), spec
+        )
+        oracle = evaluate(query, db0)
+        for shards in (1, 2, 4):
+            engine, _db = _run_stream(
+                query,
+                lambda db: ShardedEngine(
+                    query, db, shards=shards, executor="serial"
+                ),
+                spec,
+            )
+            if query.head:
+                assert dict(engine.enumerate()) == dict(plain.enumerate())
+                assert engine.output_relation() == oracle
+            else:
+                assert engine.scalar() == plain.scalar()
+                assert engine.scalar() == oracle.get(())
+
+    @given(hierarchical_query(), st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_batch_application_invariance(self, query, seed):
+        arities = {a.relation: len(a.variables) for a in query.atoms}
+        batch = valid_stream(random.Random(seed), arities, 60, domain=4)
+
+        def build(shards):
+            db = Database()
+            for atom in query.atoms:
+                if atom.relation not in db:
+                    db.create(atom.relation, atom.variables)
+            if shards == 0:
+                engine = ViewTreeEngine(query, db)
+            else:
+                engine = ShardedEngine(
+                    query, db, shards=shards, executor="serial"
+                )
+            engine.apply_batch(list(batch))
+            return engine, db
+
+        plain, ref_db = build(0)
+        oracle = evaluate(query, ref_db)
+        for shards in (1, 2, 4):
+            engine, _db = build(shards)
+            if query.head:
+                assert dict(engine.enumerate()) == dict(plain.enumerate())
+                assert engine.output_relation() == oracle
+            else:
+                assert engine.scalar() == plain.scalar()
 
 
 @st.composite
