@@ -1,0 +1,228 @@
+"""Cross-commit benchmark regression tracking over ``repro.bench/1`` JSON.
+
+``python -m repro benchdiff OLD.json NEW.json [--band 0.2]`` compares two
+benchmark records (the files ``benchmarks/results/BENCH_*.json`` written
+by every bench) and reports per-cell movements in the metric columns it
+recognizes.  A movement beyond the noise band *in the bad direction* is a
+regression and makes the command exit non-zero — the CI gate from the
+ROADMAP's cross-commit tracking item.
+
+Direction is inferred from the column name:
+
+* **higher is better** — throughput columns (``upd/s``, ``throughput``,
+  ``tuples/s``, ``speedup``);
+* **lower is better** — cost columns (``ops``, ``seconds``, ``latency``,
+  ``delay``, ``time``).
+
+Unrecognized columns (labels, sizes, configuration echo) are ignored as
+metrics, as are cells that do not parse as numbers.  Rows are matched by
+the tuple of *all* their non-metric cells (the compound row label — e.g.
+``(query, workload)``) within tables matched by title, so reordering
+rows, appending new ones, or repeating a value in the first column never
+produces spurious findings.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Optional
+
+#: Substrings marking a column where larger values are better.
+HIGHER_IS_BETTER = ("upd/s", "throughput", "tuples/s", "speedup", "per sec")
+
+#: Substrings marking a column where smaller values are better.
+LOWER_IS_BETTER = ("ops", "seconds", "latency", "delay", "time (", " time", "ms")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One compared cell: old value, new value, and the verdict."""
+
+    table: str
+    row: str
+    column: str
+    old: float
+    new: float
+    direction: str  # "higher" or "lower"
+    regressed: bool
+
+    @property
+    def change(self) -> float:
+        """Relative change of ``new`` against ``old`` (signed)."""
+        if self.old == 0:
+            return 0.0 if self.new == 0 else float("inf")
+        return (self.new - self.old) / abs(self.old)
+
+    def render(self) -> str:
+        arrow = "REGRESSION" if self.regressed else "ok"
+        return (
+            f"[{arrow}] {self.table} / {self.row} / {self.column}: "
+            f"{self.old:g} -> {self.new:g} ({self.change:+.1%}, "
+            f"{self.direction} is better)"
+        )
+
+
+def parse_number(cell: Any) -> Optional[float]:
+    """Best-effort numeric parse of a table cell; ``None`` when not numeric.
+
+    Accepts the formats the report tables emit: plain numbers,
+    thousands separators (``12,345``), ratio suffixes (``3.2x``), and
+    percentage suffixes (``+12%``).
+    """
+    if isinstance(cell, (int, float)):
+        return float(cell)
+    if not isinstance(cell, str):
+        return None
+    text = cell.strip().replace(",", "")
+    if text.endswith(("x", "X", "%")):
+        text = text[:-1]
+    if text.startswith("+"):
+        text = text[1:]
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def column_direction(column: str) -> Optional[str]:
+    """``"higher"``/``"lower"`` for metric columns, ``None`` otherwise."""
+    lowered = column.lower()
+    for marker in HIGHER_IS_BETTER:
+        if marker in lowered:
+            return "higher"
+    for marker in LOWER_IS_BETTER:
+        if marker in lowered:
+            return "lower"
+    return None
+
+
+def _tables_of(record: dict) -> list[dict]:
+    tables = record.get("tables")
+    if tables:
+        return list(tables)
+    # Pre-``tables`` records only carry the top-level series view.
+    series = record.get("series") or {}
+    if not series:
+        return []
+    columns = list(series)
+    length = max((len(v) for v in series.values()), default=0)
+    rows = [
+        [series[c][i] if i < len(series[c]) else None for c in columns]
+        for i in range(length)
+    ]
+    return [{"title": record.get("name", ""), "columns": columns, "rows": rows}]
+
+
+def _row_label(row: list, columns: list[str]) -> tuple[str, ...]:
+    """The row's compound label: every cell under a non-metric column.
+
+    Falls back to the first cell when every column is a metric, so
+    all-numeric tables still match positionally-labelled rows.
+    """
+    label = tuple(
+        str(row[i])
+        for i, column in enumerate(columns)
+        if i < len(row) and column_direction(column) is None
+    )
+    return label if label else (str(row[0]),)
+
+
+def diff_records(
+    old: dict, new: dict, band: float = 0.2
+) -> list[Finding]:
+    """Compare two ``repro.bench/1`` records; return per-cell findings.
+
+    ``band`` is the symmetric noise band: a metric may move by up to
+    ``band * old`` in the bad direction before it counts as a regression.
+    Improvements never regress, however large.
+    """
+    findings: list[Finding] = []
+    new_tables = {t.get("title", ""): t for t in _tables_of(new)}
+    for old_table in _tables_of(old):
+        title = old_table.get("title", "")
+        new_table = new_tables.get(title)
+        if new_table is None:
+            continue
+        columns = [str(c) for c in old_table.get("columns", [])]
+        new_columns = [str(c) for c in new_table.get("columns", [])]
+        new_rows = {
+            _row_label(row, new_columns): row
+            for row in new_table.get("rows", [])
+            if row
+        }
+        for old_row in old_table.get("rows", []):
+            if not old_row:
+                continue
+            label_cells = _row_label(old_row, columns)
+            new_row = new_rows.get(label_cells)
+            if new_row is None:
+                continue
+            label = " / ".join(label_cells) if label_cells else str(old_row[0])
+            for index, column in enumerate(columns):
+                direction = column_direction(column)
+                if direction is None or index == 0:
+                    continue
+                try:
+                    new_index = new_columns.index(column)
+                except ValueError:
+                    continue
+                old_value = (
+                    parse_number(old_row[index])
+                    if index < len(old_row)
+                    else None
+                )
+                new_value = (
+                    parse_number(new_row[new_index])
+                    if new_index < len(new_row)
+                    else None
+                )
+                if old_value is None or new_value is None:
+                    continue
+                if direction == "higher":
+                    regressed = new_value < old_value * (1.0 - band)
+                else:
+                    regressed = new_value > old_value * (1.0 + band)
+                findings.append(
+                    Finding(
+                        title, label, column,
+                        old_value, new_value, direction, regressed,
+                    )
+                )
+    return findings
+
+
+def load_record(path: str) -> dict:
+    with open(path) as handle:
+        record = json.load(handle)
+    schema = record.get("schema")
+    if schema != "repro.bench/1":
+        raise ValueError(
+            f"{path}: expected a repro.bench/1 record, got schema {schema!r}"
+        )
+    return record
+
+
+def benchdiff(
+    old_path: str, new_path: str, band: float = 0.2, quiet: bool = False
+) -> int:
+    """CLI entry: diff two bench JSON files, print findings, return code.
+
+    Returns 0 when no metric regressed beyond the band, 1 otherwise.
+    """
+    old = load_record(old_path)
+    new = load_record(new_path)
+    findings = diff_records(old, new, band)
+    regressions = [f for f in findings if f.regressed]
+    if not quiet:
+        name = new.get("name") or old.get("name") or "bench"
+        print(
+            f"benchdiff {name}: {len(findings)} metric cells compared, "
+            f"band ±{band:.0%}"
+        )
+        for finding in findings:
+            if finding.regressed or abs(finding.change) > band:
+                print("  " + finding.render())
+        if not regressions:
+            print("  no regressions beyond the band")
+    return 1 if regressions else 0

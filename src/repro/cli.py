@@ -8,6 +8,7 @@ Usage::
     python -m repro demo
     python -m repro stats "Q(A) = R(A,B) * S(B)" --updates 2000 \
         --json stats.json
+    python -m repro benchdiff OLD.json NEW.json --band 0.2
 
 ``classify`` runs every syntactic classifier from the paper on the query
 and prints the planner's chosen strategy with its complexity guarantees —
@@ -16,7 +17,14 @@ the Section 6 "effective guide" as a tool.
 ``stats`` replays a synthetic workload against the planner's chosen
 engine with a :class:`repro.obs.MaintenanceStats` recorder attached and
 prints (or dumps as JSON) per-update latency, enumeration delay, delta
-sizes, and rebalance events — the observability layer as a tool.
+sizes, memory, and rebalance events — the observability layer as a tool.
+``--no-compile`` forces the generic interpreted delta path for A/B runs
+against the compiled kernels.
+
+``benchdiff`` compares two ``repro.bench/1`` JSON records (the
+``benchmarks/results/BENCH_*.json`` files) and exits non-zero when a
+throughput or ops metric regresses beyond the noise band — the CI
+regression gate.
 """
 
 from __future__ import annotations
@@ -157,6 +165,7 @@ def run_stats(
     shards: int = 1,
     workload: str = "uniform",
     zipf_s: float = 1.2,
+    compile_plans: bool = True,
 ) -> int:
     """Replay a synthetic workload and print/dump the stats recorder."""
     import random
@@ -195,8 +204,18 @@ def run_stats(
         for _ in range(prefill):
             db[name].add(random_key(name), 1)
 
-    plan = plan_maintenance(query, fds, insert_only, shards=shards)
-    engine = IVMEngine(query, db, fds, insert_only, plan=plan, shards=shards)
+    plan = plan_maintenance(
+        query, fds, insert_only, shards=shards, compile_plans=compile_plans
+    )
+    engine = IVMEngine(
+        query,
+        db,
+        fds,
+        insert_only,
+        plan=plan,
+        shards=shards,
+        compile_plans=compile_plans,
+    )
     stats = engine.attach_stats()
     deletes_ok = not insert_only and plan.strategy != "insert-only"
     can_enumerate = not query.input_variables
@@ -251,7 +270,7 @@ def run_stats(
         engine.backend.close()
 
     print(f"query: {query}")
-    print(f"plan:  {plan.strategy}  ({plan.reason})")
+    print(f"plan:  {plan}")
     print(f"workload: {workload}" + (f" (s={zipf_s})" if workload == "zipf" else ""))
     print()
     print(stats.render())
@@ -273,6 +292,7 @@ def run_stats(
                 "shards": shards,
                 "workload": workload,
                 "zipf_s": zipf_s if workload == "zipf" else None,
+                "compiled": plan.compiled,
             },
         )
         print(f"stats written to {written}")
@@ -354,6 +374,23 @@ def main(argv: list[str] | None = None) -> int:
         "--zipf-s", type=float, default=1.2,
         help="Zipf skew exponent for --workload zipf (default 1.2)",
     )
+    stats_parser.add_argument(
+        "--no-compile", action="store_true",
+        help="disable the compiled delta-plan fast path (A/B against the "
+        "generic interpreter)",
+    )
+
+    diff_parser = subparsers.add_parser(
+        "benchdiff",
+        help="diff two repro.bench/1 JSON records; exit 1 on regressions",
+    )
+    diff_parser.add_argument("old", help="baseline BENCH_*.json")
+    diff_parser.add_argument("new", help="candidate BENCH_*.json")
+    diff_parser.add_argument(
+        "--band", type=float, default=0.2,
+        help="relative noise band before a bad move counts as a "
+        "regression (default 0.2 = ±20%%)",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "classify":
@@ -375,7 +412,12 @@ def main(argv: list[str] | None = None) -> int:
             args.shards,
             args.workload,
             args.zipf_s,
+            compile_plans=not args.no_compile,
         )
+    if args.command == "benchdiff":
+        from .bench.diff import benchdiff
+
+        return benchdiff(args.old, args.new, band=args.band)
     return 1  # pragma: no cover
 
 

@@ -59,10 +59,14 @@ class IVMEngine(Observable):
         plan: Plan | None = None,
         shards: int = 1,
         shard_executor: str = "thread",
+        compile_plans: bool = True,
     ):
         self.query = query
         self.database = database
-        self.plan = plan or plan_maintenance(query, fds, insert_only, shards=shards)
+        self.plan = plan or plan_maintenance(
+            query, fds, insert_only, shards=shards, compile_plans=compile_plans
+        )
+        compile_plans = compile_plans and self.plan.compiled
         strategy = self.plan.strategy
 
         if strategy in ("viewtree", "viewtree-hierarchical", "sharded-viewtree"):
@@ -81,10 +85,15 @@ class IVMEngine(Observable):
                     order=order,
                     lifting=lifting,
                     executor=shard_executor,
+                    compile_plans=compile_plans,
                 )
             else:
                 self._engine = ViewTreeEngine(
-                    query, database, order, lifting=lifting
+                    query,
+                    database,
+                    order,
+                    lifting=lifting,
+                    compile_plans=compile_plans,
                 )
         elif strategy == "fd-viewtree":
             self._engine = FDEngine(query, fds, database, lifting=lifting)

@@ -18,7 +18,7 @@ carries, so callers (and tests) can check *why* an engine was chosen.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterable, Optional
 
 from ..constraints.fds import FunctionalDependency, q_hierarchical_under_fds
@@ -38,12 +38,16 @@ class Plan:
     update_time: str
     enumeration_delay: str
     preprocessing_time: str
+    #: Whether the engine runs single-tuple updates through pre-compiled
+    #: delta plans (view-tree strategies only; see repro.viewtree.compile).
+    compiled: bool = False
 
     def __str__(self) -> str:
+        kernels = ", compiled kernels" if self.compiled else ""
         return (
             f"{self.strategy}: {self.reason} "
             f"[preprocess {self.preprocessing_time}, update {self.update_time}, "
-            f"delay {self.enumeration_delay}]"
+            f"delay {self.enumeration_delay}{kernels}]"
         )
 
 
@@ -69,11 +73,18 @@ def _is_triangle_shaped(query: Query) -> bool:
 _SHARDABLE_STRATEGIES = frozenset({"viewtree", "viewtree-hierarchical"})
 
 
+#: Strategies whose engine supports the compiled delta-plan fast path.
+_COMPILABLE_STRATEGIES = frozenset(
+    {"viewtree", "viewtree-hierarchical", "sharded-viewtree"}
+)
+
+
 def plan_maintenance(
     query: Query,
     fds: Iterable[FunctionalDependency] = (),
     insert_only: bool = False,
     shards: int = 1,
+    compile_plans: bool = True,
 ) -> Plan:
     """Choose a maintenance plan following the Section 6 decision ladder.
 
@@ -82,16 +93,23 @@ def plan_maintenance(
     work, so hash shards of the join key maintain disjoint view slices
     in parallel.  Strategies with cross-shard state (IVM^eps partitions,
     CQAP fractures, delta materializations) keep their unsharded plan.
+
+    ``compile_plans`` marks view-tree plans to run single-tuple updates
+    through pre-compiled delta kernels (``repro.viewtree.compile``);
+    pass ``False`` (the CLI's ``--no-compile``) to force the generic
+    interpretation path.
     """
     plan = _plan_unsharded(query, tuple(fds), insert_only)
     if shards > 1 and plan.strategy in _SHARDABLE_STRATEGIES:
-        return Plan(
+        plan = Plan(
             "sharded-viewtree",
             f"{plan.reason}; hash-partitioned across {shards} shards",
             f"{plan.update_time} per shard",
             plan.enumeration_delay,
             plan.preprocessing_time,
         )
+    if compile_plans and plan.strategy in _COMPILABLE_STRATEGIES:
+        plan = replace(plan, compiled=True)
     return plan
 
 

@@ -244,6 +244,24 @@ class Relation:
             COUNTER.bump("enum")
             yield key
 
+    def group_items(
+        self, variables: Iterable[str], group_key: tuple
+    ) -> Iterator[tuple[tuple, Any]]:
+        """Enumerate ``(key, payload)`` pairs agreeing with ``group_key``.
+
+        Reads payloads straight from :attr:`data` — one index probe plus
+        one enumeration step per match, with no per-match payload lookup.
+        This is the probe the join operators and the compiled delta
+        kernels use; :meth:`group` + :meth:`get` would count (and pay) an
+        extra hash probe per matching pair.
+        """
+        index = self.index_on(variables)
+        COUNTER.bump("lookup")
+        data = self.data
+        for key in index.keys_in_group(group_key):
+            COUNTER.bump("enum")
+            yield key, data[key]
+
     def group_size(self, variables: Iterable[str], group_key: tuple) -> int:
         """Number of keys agreeing with ``group_key`` on ``variables``."""
         COUNTER.bump("lookup")

@@ -13,7 +13,7 @@ from typing import Iterable, Iterator
 class Schema:
     """An ordered, duplicate-free tuple of variable names."""
 
-    __slots__ = ("variables", "_positions")
+    __slots__ = ("variables", "_positions", "_positions_cache", "_projector_cache")
 
     def __init__(self, variables: Iterable[str]):
         variables = tuple(variables)
@@ -24,6 +24,17 @@ class Schema:
             positions[var] = i
         self.variables = variables
         self._positions = positions
+        # Memoized positions()/projector() results.  Schemas are immutable
+        # and shared by every operator touching a relation, so the view-tree
+        # hot path resolves each (schema, variables) pair exactly once.
+        self._positions_cache: dict[tuple[str, ...], tuple[int, ...]] = {}
+        self._projector_cache: dict = {}
+
+    def __reduce__(self):
+        # Rebuild from the variable tuple: the caches hold closures, which
+        # must not (and need not) travel through pickle — process-pool
+        # sharding ships whole engines, schemas included.
+        return (Schema, (self.variables,))
 
     @classmethod
     def of(cls, *variables: str) -> "Schema":
@@ -35,22 +46,34 @@ class Schema:
         return self._positions[variable]
 
     def positions(self, variables: Iterable[str]) -> tuple[int, ...]:
-        """Indexes of several variables, in the order given."""
-        return tuple(self._positions[v] for v in variables)
+        """Indexes of several variables, in the order given (memoized)."""
+        variables = tuple(variables)
+        cached = self._positions_cache.get(variables)
+        if cached is None:
+            cached = tuple(self._positions[v] for v in variables)
+            self._positions_cache[variables] = cached
+        return cached
 
     def project(self, key: tuple, variables: Iterable[str]) -> tuple:
         """Project a key tuple over this schema onto ``variables``."""
         return tuple(key[self._positions[v]] for v in variables)
 
     def projector(self, variables: Iterable[str]):
-        """Return a fast ``key -> projected key`` function.
+        """Return a fast ``key -> projected key`` function (memoized).
 
-        Prefer this in loops: it resolves positions once.
+        Prefer this in loops: it resolves positions once, and repeated
+        requests for the same projection return the same closure.
         """
-        positions = self.positions(variables)
-        if positions == tuple(range(len(self.variables))):
-            return lambda key: key
-        return lambda key: tuple(key[i] for i in positions)
+        variables = tuple(variables)
+        projector = self._projector_cache.get(variables)
+        if projector is None:
+            positions = self.positions(variables)
+            if positions == tuple(range(len(self.variables))):
+                projector = lambda key: key
+            else:
+                projector = lambda key: tuple(key[i] for i in positions)
+            self._projector_cache[variables] = projector
+        return projector
 
     def union(self, other: "Schema") -> "Schema":
         """Variables of ``self`` followed by the new variables of ``other``."""

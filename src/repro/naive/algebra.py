@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Sequence
 
+from ..data.opcounter import COUNTER
 from ..data.relation import Relation
 from ..data.schema import Schema
 from ..rings.base import Semiring
@@ -55,8 +56,12 @@ def join_pair(
 
     for probe_key, probe_payload in probe.items():
         group_key = probe_project(probe_key)
-        for build_key in build.group(shared, group_key):
-            payload = ring.mul(probe_payload, build.get(build_key))
+        # group_items reads the payload straight off the build side's
+        # data dict: the key came out of the group index, so a second
+        # build.get() per matching pair would only double-count a hash
+        # probe (and skew COUNTER-based complexity assertions).
+        for build_key, build_payload in build.group_items(shared, group_key):
+            payload = ring.mul(probe_payload, build_payload)
             if ring.is_zero(payload):
                 continue
             sides = (probe_key, build_key)
@@ -113,9 +118,23 @@ def union_into(target: Relation, source: Relation) -> None:
 
 
 def rename_to(relation: Relation, schema: Schema, name: str) -> Relation:
-    """View ``relation`` under different variable names (same positions)."""
+    """View ``relation`` under different variable names (same positions).
+
+    Follows the accounting contract of :meth:`Relation.copy`: copying the
+    entries is one counted write per tuple, and the group indexes carry
+    over (re-keyed to the renamed variables — positions are unchanged)
+    with one counted write per (index, tuple) posting, so a rename never
+    silently repays index builds the original already performed.
+    """
     if len(schema) != len(relation.schema):
         raise ValueError("rename must preserve arity")
     out = Relation(name, schema, relation.ring)
+    COUNTER.bump("write", len(relation.data))
     out.data = dict(relation.data)
+    mapping = dict(zip(relation.schema.variables, schema.variables))
+    for group_vars, index in relation._indexes.items():
+        COUNTER.bump("write", len(relation.data))
+        clone = index.copy()
+        clone.group_vars = tuple(mapping[v] for v in group_vars)
+        out._indexes[clone.group_vars] = clone
     return out

@@ -172,6 +172,11 @@ class MaintenanceStats:
         self.repartitions = 0
         #: Elementary op totals folded in via record_ops / op_scope.
         self.ops: dict[str, int] = {}
+        #: Memory accounting: samples of the engine's total view size
+        #: (views + guards + leaves) taken periodically during maintenance.
+        self.view_size = RunningStat()
+        #: View/guard name -> size-sample distribution.
+        self.view_sizes: dict[str, RunningStat] = {}
         #: Per-shard summaries recorded by labelled merges (sharded runs).
         self.shard_summaries: dict[str, dict] = {}
         # Reentrancy guard: engines stack (facade -> cascade -> view tree),
@@ -204,6 +209,22 @@ class MaintenanceStats:
     def record_enum_delay(self, seconds: float) -> None:
         self.enum_delay.record(seconds)
         self.tuples_enumerated += 1
+
+    def record_view_sizes(
+        self, total: int, per_view: dict[str, int] | None = None
+    ) -> None:
+        """One memory sample: total view size plus per-view sizes.
+
+        Engines call this periodically during maintenance (see
+        ``ViewTreeEngine.view_sample_interval``), turning the space side
+        of the IVM trade-off into a recorded series.
+        """
+        self.view_size.record(total)
+        for view, size in (per_view or {}).items():
+            stat = self.view_sizes.get(view)
+            if stat is None:
+                stat = self.view_sizes[view] = RunningStat()
+            stat.record(size)
 
     def record_migration(self, moved: int, to_heavy: bool) -> None:
         self.migrations += 1
@@ -248,12 +269,21 @@ class MaintenanceStats:
                 "migrations": other.migrations,
                 "repartitions": other.repartitions,
                 "ops": sum(other.ops.values()),
+                "peak_view_size": (
+                    other.view_size.maximum if other.view_size.count else 0
+                ),
             }
             for view, stat in other.delta_sizes.items():
                 mine = self.delta_sizes.get(f"{label}/{view}")
                 if mine is None:
                     mine = self.delta_sizes[f"{label}/{view}"] = RunningStat()
                 mine.merge(stat)
+            for view, stat in other.view_sizes.items():
+                mine = self.view_sizes.get(f"{label}/{view}")
+                if mine is None:
+                    mine = self.view_sizes[f"{label}/{view}"] = RunningStat()
+                mine.merge(stat)
+            self.view_size.merge(other.view_size)
             self.record_ops(other.ops)
             return
         self.updates += other.updates
@@ -264,6 +294,12 @@ class MaintenanceStats:
             mine = self.delta_sizes.get(view)
             if mine is None:
                 mine = self.delta_sizes[view] = RunningStat()
+            mine.merge(stat)
+        self.view_size.merge(other.view_size)
+        for view, stat in other.view_sizes.items():
+            mine = self.view_sizes.get(view)
+            if mine is None:
+                mine = self.view_sizes[view] = RunningStat()
             mine.merge(stat)
         self.enum_delay.merge(other.enum_delay)
         self.enumerations += other.enumerations
@@ -307,6 +343,13 @@ class MaintenanceStats:
                 "repartitions": self.repartitions,
             },
             "ops": dict(sorted(self.ops.items())),
+            "memory": {
+                "total_view_size": self.view_size.to_dict(),
+                "view_sizes": {
+                    view: stat.to_dict()
+                    for view, stat in sorted(self.view_sizes.items())
+                },
+            },
             "shards": {
                 label: dict(summary)
                 for label, summary in sorted(self.shard_summaries.items())
@@ -346,6 +389,12 @@ class MaintenanceStats:
                     f"  {view}: n={stat.count}  mean={stat.mean:.3g}  "
                     f"max={stat.maximum:g}"
                 )
+        if self.view_size.count:
+            lines.append(
+                f"view size: samples={self.view_size.count}  "
+                f"mean={self.view_size.mean:.3g}  "
+                f"peak={self.view_size.maximum:g}"
+            )
         if self.migrations or self.repartitions:
             lines.append(
                 f"rebalancing: {self.migrations} migrations "

@@ -81,6 +81,7 @@ class ShardedEngine(Observable):
         lifting: LiftingMap | None = None,
         executor: str = "thread",
         max_workers: int | None = None,
+        compile_plans: bool = True,
     ):
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -109,6 +110,9 @@ class ShardedEngine(Observable):
             MaintenanceStats(engine=f"ViewTreeEngine/shard{index}")
             for index in range(self.shards)
         ]
+        # Per-shard compiled delta plans: each shard engine compiles its
+        # own (the plans reference that shard's leaves and views) and the
+        # whole graph stays picklable for the process-pool executor.
         self.engines = [
             ViewTreeEngine(
                 query,
@@ -117,6 +121,7 @@ class ShardedEngine(Observable):
                 lifting=lifting,
                 stats=self.shard_stats[index],
                 leaf_filter=ShardLeafFilter(self.router, index),
+                compile_plans=compile_plans,
             )
             for index in range(self.shards)
         ]

@@ -1,5 +1,6 @@
 """View trees: higher-order factorized IVM (Sections 3.2 and 4.1)."""
 
+from .compile import DeltaPlan, compile_delta_plans
 from .engine import ViewNode, ViewTreeEngine
 from .strategies import (
     STRATEGIES,
@@ -12,7 +13,9 @@ from .strategies import (
 )
 
 __all__ = [
+    "DeltaPlan",
     "EagerFact",
+    "compile_delta_plans",
     "EagerList",
     "LazyFact",
     "LazyList",

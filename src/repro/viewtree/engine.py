@@ -40,6 +40,7 @@ from ..obs import Observable, observed, observed_enumeration
 from ..query.ast import Atom, Query
 from ..query.variable_order import VariableOrder, VarOrderNode, order_for
 from ..rings.lifting import LiftingMap
+from .compile import DeltaPlan, compile_delta_plans
 
 
 class ViewNode:
@@ -103,6 +104,10 @@ class ViewNode:
 class ViewTreeEngine(Observable):
     """Eager factorized IVM over a variable order (the F-IVM engine)."""
 
+    #: Sample view sizes into an attached recorder every N single-tuple
+    #: updates (0 disables periodic memory sampling).
+    view_sample_interval: int = 64
+
     def __init__(
         self,
         query: Query,
@@ -111,6 +116,7 @@ class ViewTreeEngine(Observable):
         lifting: LiftingMap | None = None,
         stats=None,
         leaf_filter=None,
+        compile_plans: bool = True,
     ):
         """Build the view tree over ``database``.
 
@@ -124,6 +130,13 @@ class ViewTreeEngine(Observable):
         accepts.  Combined with ``apply(update, update_base=False)`` this
         lets several engines share one database, each maintaining a
         disjoint hash shard of it.
+
+        ``compile_plans`` pre-compiles one :class:`~repro.viewtree.compile.
+        DeltaPlan` per (base relation, anchor) pair so single-tuple
+        updates run through the allocation-free kernel; pass ``False``
+        to force the generic interpretation path (the ``--no-compile``
+        escape hatch).  Batch rebuilds always use the generic bottom-up
+        rebuild regardless.
         """
         self.query = query
         self.database = database
@@ -142,6 +155,13 @@ class ViewTreeEngine(Observable):
         self._anchors: dict[str, list[tuple[Atom, ViewNode, Relation]]] = {}
         for var_root in self.order.roots:
             self.roots.append(self._build_node(var_root, None))
+        #: relation name -> list of DeltaPlans, parallel to _anchors.
+        self._plans: dict[str, list[DeltaPlan]] = {}
+        self.compiled = False
+        if compile_plans:
+            self._plans = compile_delta_plans(self)
+            self.compiled = True
+        self._updates_since_sample = 0
         if stats is not None:
             self.attach_stats(stats)
 
@@ -206,14 +226,29 @@ class ViewTreeEngine(Observable):
         ``update_base`` also applies the update to the database relation;
         pass ``False`` when a coordinator shares one database among
         several engines and applies base updates itself.
+
+        With compiled plans (the default) the delta runs through the
+        allocation-free :meth:`~repro.viewtree.compile.DeltaPlan.push`
+        kernel; otherwise — or for a relation without a plan — it falls
+        back to the generic :meth:`_propagate` interpretation.
         """
         if update_base and update.relation in self.database:
             self.database[update.relation].add(update.key, update.payload)
-        for atom, node, leaf in self._anchors.get(update.relation, ()):
-            delta = Relation(f"d_{atom}", leaf.schema, self.ring)
-            delta.add(update.key, update.payload)
-            leaf.add(update.key, update.payload)
-            self._propagate(node, delta, exclude=leaf)
+        anchors = self._anchors.get(update.relation, ())
+        plans = self._plans.get(update.relation) if self.compiled else None
+        if plans is not None:
+            stats = self._maintenance_stats
+            for (_atom, _node, leaf), plan in zip(anchors, plans):
+                leaf.add(update.key, update.payload)
+                plan.push(update.key, update.payload, stats)
+        else:
+            for atom, node, leaf in anchors:
+                delta = Relation(f"d_{atom}", leaf.schema, self.ring)
+                delta.add(update.key, update.payload)
+                leaf.add(update.key, update.payload)
+                self._propagate(node, delta, exclude=leaf)
+        if self._maintenance_stats is not None:
+            self._maybe_sample_views()
 
     @observed
     def apply_batch(
@@ -252,6 +287,8 @@ class ViewTreeEngine(Observable):
                     ):
                         leaf.add(update.key, update.payload)
                 self.rebuild()
+                if self._maintenance_stats is not None:
+                    self.sample_view_sizes()
                 return
         for update in batch:
             self.apply(update, update_base)
@@ -430,6 +467,41 @@ class ViewTreeEngine(Observable):
                 for _, leaf in node.leaves:
                     total += len(leaf)
         return total
+
+    def sample_view_sizes(self, stats=None) -> None:
+        """Record one memory sample into ``stats`` (default: attached).
+
+        Samples :meth:`total_view_size` plus the size of every node view
+        and guard — the space side of the IVM trade-off, exported under
+        ``memory`` in the ``repro.obs/1`` payload.
+        """
+        stats = stats if stats is not None else self._maintenance_stats
+        if stats is None:
+            return
+        per_view: dict[str, int] = {}
+        total = 0
+        for root in self.roots:
+            for node in root.walk():
+                size = len(node.view)
+                per_view[f"V_{node.variable}"] = size
+                total += size
+                if node.guard is not None:
+                    size = len(node.guard)
+                    per_view[f"G_{node.variable}"] = size
+                    total += size
+                for _, leaf in node.leaves:
+                    total += len(leaf)
+        stats.record_view_sizes(total, per_view)
+
+    def _maybe_sample_views(self) -> None:
+        """Periodic memory sampling: every ``view_sample_interval`` updates."""
+        interval = self.view_sample_interval
+        if not interval:
+            return
+        self._updates_since_sample += 1
+        if self._updates_since_sample >= interval:
+            self._updates_since_sample = 0
+            self.sample_view_sizes()
 
     def describe(self) -> str:
         """ASCII rendering of the view tree with sizes."""

@@ -74,8 +74,11 @@ class EagerFact(MaintenanceStrategy):
         database: Database,
         order: VariableOrder | None = None,
         lifting: LiftingMap | None = None,
+        compile_plans: bool = True,
     ):
-        self.engine = ViewTreeEngine(query, database, order, lifting)
+        self.engine = ViewTreeEngine(
+            query, database, order, lifting, compile_plans=compile_plans
+        )
 
     def _propagate_stats(self, stats) -> None:
         self.engine._maintenance_stats = stats
@@ -163,7 +166,11 @@ class LazyFact(MaintenanceStrategy):
         self.database = database
         self.order = order
         self.lifting = lifting
-        self._engine = ViewTreeEngine(query, database, order, lifting)
+        # Lazy rebuilds never propagate deltas, so compiling per-anchor
+        # delta plans on every rebuild would be pure overhead.
+        self._engine = ViewTreeEngine(
+            query, database, order, lifting, compile_plans=False
+        )
         self._dirty = False
 
     def _propagate_stats(self, stats) -> None:
@@ -177,7 +184,11 @@ class LazyFact(MaintenanceStrategy):
     def enumerate(self) -> Iterator[tuple[tuple, Any]]:
         if self._dirty:
             self._engine = ViewTreeEngine(
-                self.query, self.database, self.order, self.lifting
+                self.query,
+                self.database,
+                self.order,
+                self.lifting,
+                compile_plans=False,
             )
             # The rebuilt tree inherits the attached recorder, if any.
             self._engine._maintenance_stats = self._maintenance_stats
