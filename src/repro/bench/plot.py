@@ -1,0 +1,147 @@
+"""Render ``repro.bench/1`` JSON records as charts.
+
+``python -m repro benchplot BENCH_*.json -o out/`` turns every table in
+every record into one chart: a grouped bar chart per metric column, with
+one group per row (labelled by the row's non-metric cells, the same
+compound label ``benchdiff`` matches rows by).
+
+Matplotlib is optional.  When it is importable the charts are PNG files;
+when it is not (the CI container deliberately carries no plotting
+dependencies) the same data is rendered as fixed-width ASCII bar tables
+in ``.txt`` files, so the plotting layer degrades instead of failing.
+``--ascii`` forces the text renderer even when matplotlib is present.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+from .diff import _row_label, _tables_of, column_direction, load_record
+
+#: Width, in characters, of a full-scale ASCII bar.
+ASCII_BAR_WIDTH = 40
+
+
+def _matplotlib():
+    """The pyplot module with a headless backend, or ``None``."""
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except Exception:
+        return None
+    return plt
+
+
+def _slug(text: str) -> str:
+    slug = re.sub(r"[^a-z0-9]+", "-", text.lower()).strip("-")
+    return slug or "table"
+
+
+def _metric_series(table: dict):
+    """``(labels, {column: values})`` for one table's metric columns.
+
+    Rows are labelled by their non-metric cells (configuration echo);
+    metric cells that fail to parse become ``None`` so a sparse column
+    (e.g. a speedup only some rows report) still lines up.
+    """
+    from .diff import parse_number
+
+    columns = [str(c) for c in table.get("columns", [])]
+    rows = [row for row in table.get("rows", []) if row]
+    labels = [" / ".join(_row_label(row, columns)) for row in rows]
+    series: dict[str, list] = {}
+    for index, column in enumerate(columns):
+        if column_direction(column) is None:
+            continue
+        series[column] = [
+            parse_number(row[index]) if index < len(row) else None
+            for row in rows
+        ]
+    return labels, series
+
+
+def _render_ascii(title: str, labels: list[str], series: dict) -> str:
+    """One fixed-width bar block per metric column."""
+    lines = [title, "=" * len(title)]
+    width = max((len(label) for label in labels), default=0)
+    for column, values in series.items():
+        lines.append("")
+        lines.append(f"  {column}")
+        numeric = [v for v in values if v is not None]
+        scale = max((abs(v) for v in numeric), default=0.0)
+        for label, value in zip(labels, values):
+            if value is None:
+                lines.append(f"    {label:<{width}}  (n/a)")
+                continue
+            filled = (
+                round(abs(value) / scale * ASCII_BAR_WIDTH) if scale else 0
+            )
+            bar = "#" * filled
+            lines.append(f"    {label:<{width}}  {bar} {value:g}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _render_png(plt, path: str, title: str, labels, series) -> None:
+    """Grouped bars: one group per row, one bar per metric column."""
+    columns = list(series)
+    groups = range(len(labels))
+    bar_width = 0.8 / max(len(columns), 1)
+    fig, axis = plt.subplots(
+        figsize=(max(6.0, 1.2 * len(labels)), 4.5)
+    )
+    for offset, column in enumerate(columns):
+        values = [v if v is not None else 0.0 for v in series[column]]
+        axis.bar(
+            [g + offset * bar_width for g in groups],
+            values,
+            width=bar_width,
+            label=column,
+        )
+    axis.set_xticks([g + 0.4 - bar_width / 2 for g in groups])
+    axis.set_xticklabels(labels, rotation=30, ha="right", fontsize=8)
+    axis.set_title(title)
+    axis.legend(fontsize=8)
+    fig.tight_layout()
+    fig.savefig(path, dpi=120)
+    plt.close(fig)
+
+
+def benchplot(paths: list[str], out_dir: str, ascii_only: bool = False) -> int:
+    """CLI entry: plot each record's tables into ``out_dir``; return 0.
+
+    Returns 1 when no record yields a plottable table (bad paths or
+    records without metric columns).
+    """
+    plt = None if ascii_only else _matplotlib()
+    if plt is None and not ascii_only:
+        print("matplotlib unavailable; falling back to ASCII charts")
+    os.makedirs(out_dir, exist_ok=True)
+    written = 0
+    for path in paths:
+        record = load_record(path)
+        record_name = record.get("name") or _slug(
+            os.path.splitext(os.path.basename(path))[0]
+        )
+        for table in _tables_of(record):
+            title = str(table.get("title", "")) or record_name
+            labels, series = _metric_series(table)
+            if not labels or not series:
+                continue
+            stem = f"{_slug(record_name)}--{_slug(title)}"
+            if plt is not None:
+                target = os.path.join(out_dir, stem + ".png")
+                _render_png(plt, target, title, labels, series)
+            else:
+                target = os.path.join(out_dir, stem + ".txt")
+                with open(target, "w") as handle:
+                    handle.write(_render_ascii(title, labels, series))
+            print(f"wrote {target}")
+            written += 1
+    if not written:
+        print("no plottable tables found")
+        return 1
+    return 0

@@ -25,7 +25,7 @@ from typing import Any, Iterator
 from ..data.database import Database
 from ..data.relation import Relation
 from ..data.schema import Schema
-from ..data.update import Update
+from ..data.update import Update, coalesce
 from ..obs import Observable, observed, share_stats
 from ..query.ast import Query
 from ..query.properties import is_q_hierarchical
@@ -107,7 +107,9 @@ class CascadeEngine(Observable):
 
     @observed
     def apply_batch(self, batch) -> None:
-        for update in batch:
+        # Ring-coalescing cancels same-key churn before the per-update
+        # routing (batches over a ring commute, so the sum is the same).
+        for update in coalesce(batch, self.ring):
             self.apply(update)
 
     # ------------------------------------------------------------------

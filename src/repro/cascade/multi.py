@@ -22,7 +22,7 @@ from typing import Any, Iterator, Optional
 
 from ..core.engine import IVMEngine
 from ..data.database import Database
-from ..data.update import Update
+from ..data.update import Update, coalesce
 from ..obs import Observable, observed, share_stats
 from ..query.ast import Query
 from ..query.properties import is_q_hierarchical
@@ -137,7 +137,8 @@ class MultiQueryEngine(Observable):
 
     @observed
     def apply_batch(self, batch) -> None:
-        for update in batch:
+        # Ring-coalescing cancels same-key churn once for all consumers.
+        for update in coalesce(batch, self.database.ring):
             self.apply(update)
 
     # ------------------------------------------------------------------

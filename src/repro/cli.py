@@ -8,6 +8,9 @@ Usage::
     python -m repro demo
     python -m repro stats "Q(A) = R(A,B) * S(B)" --updates 2000 \
         --json stats.json
+    python -m repro stats "Q(A) = R(A,B) * S(B)" \
+        --workload sliding-window --window 128 --batch-size 64
+    python -m repro benchplot benchmarks/results/BENCH_*.json -o plots/
     python -m repro benchdiff OLD.json NEW.json --band 0.2
 
 ``classify`` runs every syntactic classifier from the paper on the query
@@ -20,6 +23,10 @@ prints (or dumps as JSON) per-update latency, enumeration delay, delta
 sizes, memory, and rebalance events — the observability layer as a tool.
 ``--no-compile`` forces the generic interpreted delta path for A/B runs
 against the compiled kernels.
+
+``benchplot`` renders ``repro.bench/1`` JSON records as grouped bar
+charts — PNG when matplotlib is available, ASCII bar tables otherwise,
+so the plotting layer works in the dependency-free CI container.
 
 ``benchdiff`` compares two ``repro.bench/1`` JSON records (the
 ``benchmarks/results/BENCH_*.json`` files) and exits non-zero when a
@@ -166,10 +173,12 @@ def run_stats(
     workload: str = "uniform",
     zipf_s: float = 1.2,
     compile_plans: bool = True,
+    window: int = 256,
 ) -> int:
     """Replay a synthetic workload and print/dump the stats recorder."""
     import random
     import time
+    from collections import deque
 
     from .constraints.fds import FunctionalDependency
     from .core.engine import IVMEngine
@@ -181,7 +190,12 @@ def run_stats(
     query = parse_query(text)
     fds = tuple(FunctionalDependency.parse(t) for t in fd_texts)
     rng = random.Random(seed)
-    value = _make_value_sampler(rng, domain, workload, zipf_s)
+    value = _make_value_sampler(
+        rng,
+        domain,
+        "uniform" if workload == "sliding-window" else workload,
+        zipf_s,
+    )
 
     db = Database()
     static_names = {atom.relation for atom in getattr(query, "static_atoms", ())}
@@ -220,6 +234,16 @@ def run_stats(
     deletes_ok = not insert_only and plan.strategy != "insert-only"
     can_enumerate = not query.input_variables
     sharded = isinstance(engine.backend, ShardedEngine)
+    # Batches of ``--batch`` go through ``apply_batch``: the sharded
+    # coordinator splits once and runs shards in parallel, the view-tree
+    # family coalesces and runs the compiled batch kernel.  ``--batch 1``
+    # forces the per-update path (except for sharded plans, where the
+    # per-update path would serialize the coordinator).
+    batched = sharded or batch > 1
+
+    if workload == "sliding-window" and not deletes_ok:
+        print("--workload sliding-window needs deletes (drop --insert-only)")
+        return 1
 
     def drain() -> None:
         for _ in engine.enumerate():
@@ -227,22 +251,34 @@ def run_stats(
 
     # A valid update stream: deletes only retract still-live insertions,
     # so multiplicities stay non-negative and enumeration stays sound.
-    # Sharded plans get the stream in batches of ``--batch`` so the
-    # coordinator splits once and runs the shard engines in parallel.
+    # ``sliding-window`` keeps a FIFO of the last ``--window`` insertions
+    # and emits the matching delete as each tuple falls out of the window
+    # — the paired insert/delayed-delete shape that rewards batch
+    # coalescing whenever the window wraps within one batch.
     live: dict[str, list[tuple]] = {name: [] for name in dynamic}
+    fifo: deque[tuple[str, tuple]] = deque()
     pending: list[Update] = []
     start = time.perf_counter()
     for index in range(updates):
         relation = dynamic[rng.randrange(len(dynamic))]
-        keys = live[relation]
-        if deletes_ok and keys and rng.random() < 0.25:
-            key = keys.pop(rng.randrange(len(keys)))
-            update = Update(relation, key, -1)
+        if workload == "sliding-window":
+            if len(fifo) >= max(window, 1):
+                relation, key = fifo.popleft()
+                update = Update(relation, key, -1)
+            else:
+                key = random_key(relation)
+                fifo.append((relation, key))
+                update = Update(relation, key, 1)
         else:
-            key = random_key(relation)
-            keys.append(key)
-            update = Update(relation, key, 1)
-        if sharded:
+            keys = live[relation]
+            if deletes_ok and keys and rng.random() < 0.25:
+                key = keys.pop(rng.randrange(len(keys)))
+                update = Update(relation, key, -1)
+            else:
+                key = random_key(relation)
+                keys.append(key)
+                update = Update(relation, key, 1)
+        if batched:
             pending.append(update)
             if len(pending) >= max(batch, 1):
                 engine.apply_batch(pending)
@@ -271,7 +307,12 @@ def run_stats(
 
     print(f"query: {query}")
     print(f"plan:  {plan}")
-    print(f"workload: {workload}" + (f" (s={zipf_s})" if workload == "zipf" else ""))
+    shape = ""
+    if workload == "zipf":
+        shape = f" (s={zipf_s})"
+    elif workload == "sliding-window":
+        shape = f" (window={window})"
+    print(f"workload: {workload}{shape}")
     print()
     print(stats.render())
     print()
@@ -292,6 +333,8 @@ def run_stats(
                 "shards": shards,
                 "workload": workload,
                 "zipf_s": zipf_s if workload == "zipf" else None,
+                "window": window if workload == "sliding-window" else None,
+                "batch": batch,
                 "compiled": plan.compiled,
             },
         )
@@ -351,7 +394,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     stats_parser.add_argument("--seed", type=int, default=0)
     stats_parser.add_argument(
-        "--batch", type=int, default=100, help="batch size (default 100)"
+        "--batch", "--batch-size", dest="batch", type=int, default=100,
+        help="batch size routed through apply_batch; 1 forces the "
+        "per-update path (default 100)",
     )
     stats_parser.add_argument(
         "--enum-interval", type=int, default=4,
@@ -367,17 +412,42 @@ def main(argv: list[str] | None = None) -> int:
         "(default 1 = unsharded)",
     )
     stats_parser.add_argument(
-        "--workload", choices=("uniform", "zipf"), default="uniform",
-        help="attribute value distribution (default uniform)",
+        "--workload",
+        choices=("uniform", "zipf", "sliding-window"),
+        default="uniform",
+        help="stream shape: uniform / zipf value distributions, or "
+        "sliding-window insert+delayed-delete pairs (default uniform)",
     )
     stats_parser.add_argument(
         "--zipf-s", type=float, default=1.2,
         help="Zipf skew exponent for --workload zipf (default 1.2)",
     )
     stats_parser.add_argument(
+        "--window", type=int, default=256,
+        help="tuples kept live by --workload sliding-window (default 256)",
+    )
+    stats_parser.add_argument(
         "--no-compile", action="store_true",
         help="disable the compiled delta-plan fast path (A/B against the "
         "generic interpreter)",
+    )
+
+    plot_parser = subparsers.add_parser(
+        "benchplot",
+        help="render repro.bench/1 JSON records as charts (PNG, or ASCII "
+        "when matplotlib is unavailable)",
+    )
+    plot_parser.add_argument(
+        "records", nargs="+", metavar="BENCH.json",
+        help="one or more repro.bench/1 JSON records",
+    )
+    plot_parser.add_argument(
+        "-o", "--out", default="plots",
+        help="output directory (default plots/)",
+    )
+    plot_parser.add_argument(
+        "--ascii", action="store_true",
+        help="force the ASCII renderer even when matplotlib is installed",
     )
 
     diff_parser = subparsers.add_parser(
@@ -413,7 +483,12 @@ def main(argv: list[str] | None = None) -> int:
             args.workload,
             args.zipf_s,
             compile_plans=not args.no_compile,
+            window=args.window,
         )
+    if args.command == "benchplot":
+        from .bench.plot import benchplot
+
+        return benchplot(args.records, args.out, ascii_only=args.ascii)
     if args.command == "benchdiff":
         from .bench.diff import benchdiff
 

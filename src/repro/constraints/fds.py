@@ -19,7 +19,7 @@ from typing import Any, Iterable, Iterator
 from ..data.database import Database
 from ..data.relation import Relation
 from ..data.schema import Schema
-from ..data.update import Update
+from ..data.update import Update, coalesce
 from ..query.ast import Atom, Query
 from ..query.properties import is_q_hierarchical
 from ..query.variable_order import (
@@ -186,8 +186,8 @@ class FDEngine(Observable):
 
     @observed
     def apply_batch(self, batch) -> None:
-        for update in batch:
-            self.apply(update)
+        """Coalesced batch maintenance through the view-tree batch path."""
+        self.engine.apply_batch(coalesce(batch, self.engine.ring))
 
     def enumerate(self) -> Iterator[tuple[tuple, Any]]:
         """Enumerate original-head tuples with constant delay.

@@ -25,7 +25,7 @@ from typing import Any
 
 from ..data.relation import Relation
 from ..data.schema import Schema
-from ..data.update import Update
+from ..data.update import Update, coalesce
 from ..obs import Observable, observed
 from ..rings.base import Ring
 from ..rings.standard import Z
@@ -89,7 +89,8 @@ class StarJoinCounter(Observable):
 
     @observed
     def apply_batch(self, batch) -> None:
-        for update in batch:
+        # Ring-coalescing cancels same-key churn before the star probes.
+        for update in coalesce(batch, self.ring):
             self.apply(update)
 
     def _update_fact(self, key: tuple, payload: Any) -> None:

@@ -136,11 +136,21 @@ class IVMEngine(Observable):
 
     def apply_batch(self, batch) -> None:
         engine = self._engine
-        if isinstance(engine, ShardedEngine):
-            # Hand the whole batch to the coordinator so it splits once
-            # and runs the shard engines in parallel.
+        if isinstance(
+            engine,
+            (ShardedEngine, ViewTreeEngine, CQAPEngine, StaticDynamicEngine, FDEngine),
+        ):
+            # Backends with a real batch path: the sharded coordinator
+            # splits once and runs shards in parallel; the view-tree
+            # family coalesces and runs the compiled batch kernel.
             engine.apply_batch(list(batch))
             return
+        if isinstance(engine, DeltaQueryEngine):
+            engine.update_batch(list(batch))
+            return
+        # TriangleCounter / InsertOnlyEngine need the facade's per-update
+        # base bookkeeping (and IVM^eps's amortization accounting assumes
+        # an uncoalesced stream), so they keep the per-update loop.
         for update in batch:
             self.apply(update)
 

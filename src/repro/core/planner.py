@@ -41,9 +41,20 @@ class Plan:
     #: Whether the engine runs single-tuple updates through pre-compiled
     #: delta plans (view-tree strategies only; see repro.viewtree.compile).
     compiled: bool = False
+    #: Whether ``apply_batch`` routes batches through the compiled batch
+    #: kernel — coalesced, probe-sharing group pushes under the engine's
+    #: three-way heuristic (compiled-batch / per-tuple / rebuild).  Set
+    #: alongside ``compiled`` for the view-tree strategy family.
+    batch_kernel: bool = False
 
     def __str__(self) -> str:
-        kernels = ", compiled kernels" if self.compiled else ""
+        kernels = ""
+        if self.compiled:
+            kernels = (
+                ", compiled kernels (batched)"
+                if self.batch_kernel
+                else ", compiled kernels"
+            )
         return (
             f"{self.strategy}: {self.reason} "
             f"[preprocess {self.preprocessing_time}, update {self.update_time}, "
@@ -109,7 +120,7 @@ def plan_maintenance(
             plan.preprocessing_time,
         )
     if compile_plans and plan.strategy in _COMPILABLE_STRATEGIES:
-        plan = replace(plan, compiled=True)
+        plan = replace(plan, compiled=True, batch_kernel=True)
     return plan
 
 

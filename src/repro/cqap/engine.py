@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Any, Iterator, Mapping, Sequence
 
 from ..data.database import Database
-from ..data.update import Update
+from ..data.update import Update, coalesce
 from ..obs import Observable, observed, share_stats
 from ..query.ast import Query
 from ..query.variable_order import canonical_order
@@ -73,8 +73,21 @@ class CQAPEngine(Observable):
 
     @observed
     def apply_batch(self, batch) -> None:
+        """Coalesced batch maintenance across the fracture's components.
+
+        The batch lands on the shared base once, then every component
+        engine runs it through its own (compiled) batch path; components
+        ignore relations outside their anchors.
+        """
+        batch = coalesce(batch, self.ring)
         for update in batch:
-            self.apply(update)
+            if update.relation not in self._relations:
+                raise KeyError(f"relation {update.relation!r} not in the query")
+        for update in batch:
+            if update.relation in self.database:
+                self.database[update.relation].add(update.key, update.payload)
+        for engine in self.engines:
+            engine.apply_batch(batch, update_base=False)
 
     # ------------------------------------------------------------------
     # Access requests

@@ -167,6 +167,51 @@ class Relation:
         self.data[key] = new
         return new
 
+    def add_delta(self, entries: Iterable[tuple[tuple, Any]]) -> int:
+        """Ring-add many ``(key, payload)`` pairs in one fused pass.
+
+        Semantically identical to calling :meth:`add` once per pair —
+        zero payloads are skipped, entries cancelling to the ring zero
+        are removed together with their index postings — but the hot
+        locals (data dict, ring ops, index list) bind once for the whole
+        delta and the write accounting is one bulk ``COUNTER`` bump.
+        This is the leaf/base/view sink of the compiled batch kernel.
+
+        Returns the number of entries written (the op count bumped).
+        """
+        ring = self.ring
+        is_zero = ring.is_zero
+        ring_add = ring.add
+        # Inline the zero test for exact-zero rings (see Semiring.exact_zero):
+        # one comparison instead of a Python call per entry.
+        exact = ring.exact_zero
+        zero = ring.zero
+        data = self.data
+        indexes = list(self._indexes.values()) if self._indexes else None
+        writes = 0
+        for key, payload in entries:
+            if (payload == zero) if exact else is_zero(payload):
+                continue
+            writes += 1
+            old = data.get(key)
+            if old is None:
+                data[key] = payload
+                if indexes is not None:
+                    for index in indexes:
+                        index.add(key)
+                continue
+            new = ring_add(old, payload)
+            if (new == zero) if exact else is_zero(new):
+                del data[key]
+                if indexes is not None:
+                    for index in indexes:
+                        index.remove(key)
+            else:
+                data[key] = new
+        if writes:
+            COUNTER.bump("write", writes)
+        return writes
+
     def set(self, key: tuple, payload: Any) -> None:
         """Overwrite the payload at ``key`` (remove when zero).
 

@@ -59,6 +59,77 @@ def apply_batch(database: Database, batch: Iterable[Update]) -> None:
         apply_update(database, update)
 
 
+def coalesce(batch: Iterable[Update], ring: Semiring = Z) -> list[Update]:
+    """Ring-sum same ``(relation, key)`` deltas; drop the zero sums.
+
+    An update batch over a ring commutes, so replacing all updates that
+    hit the same tuple with their ring sum — and dropping tuples whose
+    deltas cancel to the ring zero — leaves the cumulative effect of the
+    batch unchanged while shrinking the work every downstream engine has
+    to do.  A ``+1`` immediately followed by its ``-1`` (the churn shape
+    of sliding-window streams) disappears entirely.
+
+    The result keeps one update per surviving ``(relation, key)`` pair,
+    in first-occurrence order (deterministic for tests and replays).
+    """
+    totals: dict[tuple[str, tuple], Any] = {}
+    add = ring.add
+    for update in batch:
+        slot = (update.relation, update.key)
+        previous = totals.get(slot)
+        totals[slot] = (
+            update.payload if previous is None else add(previous, update.payload)
+        )
+    if ring.exact_zero:
+        zero = ring.zero
+        return [
+            Update(relation, key, payload)
+            for (relation, key), payload in totals.items()
+            if payload != zero
+        ]
+    is_zero = ring.is_zero
+    return [
+        Update(relation, key, payload)
+        for (relation, key), payload in totals.items()
+        if not is_zero(payload)
+    ]
+
+
+def coalesce_grouped(
+    batch: Iterable[Update], ring: Semiring = Z
+) -> dict[str, dict[tuple, Any]]:
+    """Coalesce a batch into per-relation delta dicts (zeros dropped).
+
+    Same cancellation semantics as :func:`coalesce`, but shaped for the
+    compiled batch kernel: ``{relation: {key: payload}}`` with relations
+    and keys in first-occurrence order.  Relations whose deltas cancel
+    entirely are absent from the result.
+    """
+    grouped: dict[str, dict[tuple, Any]] = {}
+    add = ring.add
+    for update in batch:
+        deltas = grouped.get(update.relation)
+        if deltas is None:
+            deltas = grouped[update.relation] = {}
+        previous = deltas.get(update.key)
+        deltas[update.key] = (
+            update.payload if previous is None else add(previous, update.payload)
+        )
+    is_zero = ring.is_zero
+    exact = ring.exact_zero
+    zero = ring.zero
+    result: dict[str, dict[tuple, Any]] = {}
+    for relation, deltas in grouped.items():
+        surviving = {
+            key: payload
+            for key, payload in deltas.items()
+            if ((payload != zero) if exact else not is_zero(payload))
+        }
+        if surviving:
+            result[relation] = surviving
+    return result
+
+
 def permuted(batch: Sequence[Update], seed: int = 0) -> list[Update]:
     """A deterministic random permutation of a batch.
 

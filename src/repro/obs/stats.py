@@ -39,6 +39,10 @@ _SUMMARY_COUNT_KEYS = frozenset(
         "migrations",
         "repartitions",
         "ops",
+        "batch_updates_raw",
+        "batch_updates_coalesced",
+        "sibling_probes",
+        "sibling_probes_shared",
     }
 )
 
@@ -172,6 +176,13 @@ class MaintenanceStats:
         self.repartitions = 0
         #: Elementary op totals folded in via record_ops / op_scope.
         self.ops: dict[str, int] = {}
+        #: Batch-kernel accounting: updates entering the compiled batch
+        #: path vs. the distinct deltas surviving ring-coalescing, and
+        #: sibling probes issued vs. saved by cross-delta sharing.
+        self.batch_updates_raw = 0
+        self.batch_updates_coalesced = 0
+        self.sibling_probes = 0
+        self.sibling_probes_shared = 0
         #: Memory accounting: samples of the engine's total view size
         #: (views + guards + leaves) taken periodically during maintenance.
         self.view_size = RunningStat()
@@ -226,6 +237,16 @@ class MaintenanceStats:
                 stat = self.view_sizes[view] = RunningStat()
             stat.record(size)
 
+    def record_batch_coalesce(self, raw: int, coalesced: int) -> None:
+        """One compiled-batch run: raw updates vs. surviving deltas."""
+        self.batch_updates_raw += raw
+        self.batch_updates_coalesced += coalesced
+
+    def record_probe_sharing(self, issued: int, shared: int) -> None:
+        """Sibling probes actually issued vs. saved by the probe cache."""
+        self.sibling_probes += issued
+        self.sibling_probes_shared += shared
+
     def record_migration(self, moved: int, to_heavy: bool) -> None:
         self.migrations += 1
         self.tuples_migrated += moved
@@ -272,7 +293,17 @@ class MaintenanceStats:
                 "peak_view_size": (
                     other.view_size.maximum if other.view_size.count else 0
                 ),
+                "batch_updates_raw": other.batch_updates_raw,
+                "batch_updates_coalesced": other.batch_updates_coalesced,
+                "sibling_probes": other.sibling_probes,
+                "sibling_probes_shared": other.sibling_probes_shared,
             }
+            # Shard-level batch-kernel work is real engine work; roll it
+            # up into the coordinator totals like elementary ops.
+            self.batch_updates_raw += other.batch_updates_raw
+            self.batch_updates_coalesced += other.batch_updates_coalesced
+            self.sibling_probes += other.sibling_probes
+            self.sibling_probes_shared += other.sibling_probes_shared
             for view, stat in other.delta_sizes.items():
                 mine = self.delta_sizes.get(f"{label}/{view}")
                 if mine is None:
@@ -307,6 +338,10 @@ class MaintenanceStats:
         self.migrations += other.migrations
         self.tuples_migrated += other.tuples_migrated
         self.repartitions += other.repartitions
+        self.batch_updates_raw += other.batch_updates_raw
+        self.batch_updates_coalesced += other.batch_updates_coalesced
+        self.sibling_probes += other.sibling_probes
+        self.sibling_probes_shared += other.sibling_probes_shared
         self.record_ops(other.ops)
         for shard_label, summary in other.shard_summaries.items():
             mine = self.shard_summaries.get(shard_label)
@@ -343,6 +378,12 @@ class MaintenanceStats:
                 "repartitions": self.repartitions,
             },
             "ops": dict(sorted(self.ops.items())),
+            "batch": {
+                "raw_updates": self.batch_updates_raw,
+                "coalesced_updates": self.batch_updates_coalesced,
+                "sibling_probes": self.sibling_probes,
+                "probes_shared": self.sibling_probes_shared,
+            },
             "memory": {
                 "total_view_size": self.view_size.to_dict(),
                 "view_sizes": {
@@ -394,6 +435,15 @@ class MaintenanceStats:
                 f"view size: samples={self.view_size.count}  "
                 f"mean={self.view_size.mean:.3g}  "
                 f"peak={self.view_size.maximum:g}"
+            )
+        if self.batch_updates_raw:
+            cancelled = self.batch_updates_raw - self.batch_updates_coalesced
+            lines.append(
+                f"batch kernel: {self.batch_updates_raw} updates -> "
+                f"{self.batch_updates_coalesced} coalesced deltas "
+                f"({cancelled} cancelled); sibling probes "
+                f"{self.sibling_probes} issued, "
+                f"{self.sibling_probes_shared} shared"
             )
         if self.migrations or self.repartitions:
             lines.append(

@@ -84,6 +84,7 @@ class CovarianceRing(Ring):
     """Ring of :class:`Moments` elements (the F-IVM degree-2 ring)."""
 
     name = "covariance"
+    exact_zero = False  # cleans near-zero float moments first
 
     @property
     def zero(self) -> Moments:

@@ -29,6 +29,15 @@ class Semiring(ABC):
     #: Human-readable name used in reprs and error messages.
     name: str = "semiring"
 
+    #: Whether ``value == self.zero`` is exactly :meth:`is_zero`.  Hot
+    #: loops (the compiled batch kernel, :meth:`Relation.add_delta`)
+    #: inline the equality comparison when this is set, skipping a
+    #: Python method call per payload.  Subclasses that override
+    #: :meth:`is_zero` with anything other than plain equality
+    #: (tolerance bands, structural emptiness checks) MUST set this to
+    #: ``False``.
+    exact_zero: bool = True
+
     @property
     @abstractmethod
     def zero(self) -> Any:

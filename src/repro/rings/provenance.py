@@ -102,6 +102,7 @@ class ProvenanceSemiring(Semiring):
     """N[X]: the free (most general) provenance semiring."""
 
     name = "N[X]"
+    exact_zero = False  # structural emptiness check, not equality
 
     @property
     def zero(self) -> Polynomial:

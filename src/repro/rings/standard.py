@@ -44,6 +44,7 @@ class FloatRing(Ring):
     """
 
     name = "R"
+    exact_zero = False  # tolerance band, not plain equality
 
     def __init__(self, tolerance: float = 1e-12):
         self.tolerance = tolerance
@@ -146,6 +147,9 @@ class ProductRing(Ring):
                 raise TypeError(f"ProductRing factors must be rings, got {factor!r}")
         self.factors = factors
         self.name = " x ".join(f.name for f in factors)
+        # Tuple equality against the zero tuple is exact iff every
+        # component's zero test is.
+        self.exact_zero = all(f.exact_zero for f in factors)
 
     @property
     def zero(self) -> tuple[Any, ...]:

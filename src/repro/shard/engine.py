@@ -51,7 +51,7 @@ from typing import Any, Iterator
 from ..data.database import Database
 from ..data.relation import Relation
 from ..data.schema import Schema
-from ..data.update import Update
+from ..data.update import Update, coalesce
 from ..obs import MaintenanceStats, Observable, observed, observed_enumeration
 from ..query.ast import Query
 from ..query.variable_order import VariableOrder, order_for
@@ -198,8 +198,15 @@ class ShardedEngine(Observable):
         update_base: bool = True,
         rebuild_factor: float | None = None,
     ) -> None:
-        """Split a batch by owning shard and run the shards concurrently."""
-        batch = list(batch)
+        """Split a batch by owning shard and run the shards concurrently.
+
+        The batch is ring-coalesced *before* routing: same-key deltas
+        collapse to one update (cancellations vanish entirely), so the
+        router, the base writes, and every shard's own batch kernel see
+        the already-shrunk batch — broadcast updates in particular are
+        shipped to each shard only once per surviving key.
+        """
+        batch = coalesce(batch, self.ring)
         if update_base:
             for update in batch:
                 if update.relation in self.database:

@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Any, Iterator
 
 from ..data.database import Database
-from ..data.update import Update
+from ..data.update import Update, coalesce
 from ..obs import Observable, observed, share_stats
 from ..query.ast import Query
 from ..rings.lifting import LiftingMap
@@ -64,8 +64,14 @@ class StaticDynamicEngine(Observable):
 
     @observed
     def apply_batch(self, batch) -> None:
+        """Coalesced batch maintenance through the view-tree batch path."""
+        batch = coalesce(batch, self.engine.ring)
         for update in batch:
-            self.apply(update)
+            if update.relation in self._static:
+                raise StaticRelationUpdateError(
+                    f"relation {update.relation!r} is adorned static"
+                )
+        self.engine.apply_batch(batch)
 
     def enumerate(self) -> Iterator[tuple[tuple, Any]]:
         return self.engine.enumerate()

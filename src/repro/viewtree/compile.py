@@ -54,6 +54,17 @@ are counted in bulk — one ``COUNTER.bump(kind, n)`` per push instead of
 one call per operation — so COUNTER-based complexity assertions see the
 same asymptotic shape at a fraction of the bookkeeping cost.
 
+Batch execution: :meth:`DeltaPlan.push_batch` runs a whole *coalesced*
+batch group (one ``{key: payload}`` delta per base relation, same-key
+updates ring-summed and cancelled upstream) through the same compiled
+path.  On top of the per-tuple kernel's savings it shares sibling probes
+across the group — each sibling is probed once per distinct join key,
+memoized in a per-join cache — and lands every step's aggregated delta
+on its guard/view through one bulk
+:meth:`~repro.data.relation.Relation.add_delta` write.
+:meth:`ViewTreeEngine.apply_batch` routes batches here under its
+three-way heuristic (compiled-batch / per-tuple / rebuild).
+
 Everything stored here is positions, relation references, named
 callables, and ring singletons, so compiled plans pickle with their
 engine — the process-pool shard executor ships compiled engines whole,
@@ -63,6 +74,7 @@ references and the view tree's own.
 
 from __future__ import annotations
 
+from operator import itemgetter
 from typing import Any, Optional
 
 from ..data.opcounter import COUNTER
@@ -73,6 +85,27 @@ from ..rings.base import Semiring
 DIRECT = 0  #: sibling schema is contained in the delta schema: one dict.get
 INDEXED = 1  #: probe the sibling's group index on the shared variables
 CROSS = 2  #: no shared variables: cross product with every sibling entry
+
+#: Probe-cache miss sentinel for :meth:`DeltaPlan.push_batch` — ``None``
+#: is a legitimate cached result (an absent sibling entry/bucket).
+_MISS = object()
+
+
+def _tuple_getter(positions: tuple[int, ...]):
+    """A ``key -> projected tuple`` callable for a position tuple.
+
+    ``operator.itemgetter`` (C speed) for two or more positions; small
+    closures for the one- and zero-position cases, where itemgetter
+    would return a bare element instead of a tuple.  Getters are built
+    per :meth:`DeltaPlan.push_batch` call and never stored on the plan,
+    which must stay picklable for the process-pool shard executor.
+    """
+    if len(positions) >= 2:
+        return itemgetter(*positions)
+    if positions:
+        index = positions[0]
+        return lambda key: (key[index],)
+    return lambda key: ()
 
 
 class SiblingJoin:
@@ -280,6 +313,179 @@ class DeltaPlan:
                     COUNTER.bump("lookup", lookups)
                 if matches:
                     COUNTER.bump("enum", matches)
+
+    def push_batch(self, delta: dict, stats=None) -> None:
+        """Propagate one *coalesced* multi-tuple delta along the path.
+
+        ``delta`` maps key tuples to non-zero ring payloads — the
+        per-relation group a batch coalesces to (see
+        :func:`repro.data.update.coalesce_grouped`).  The propagation is
+        exactly :meth:`push` lifted to a dict of deltas, so the batch
+        equals the telescoped sum of its per-tuple pushes, with two batch
+        fusions on top:
+
+        * **shared sibling probes** — each sibling is probed once per
+          *distinct* join key across the whole delta, not once per
+          update.  A probe cache per sibling join memoizes the payload
+          (DIRECT) or the index bucket (INDEXED); repeated join keys —
+          the common case under skew — hit the cache instead of the
+          relation.  Cache hits are *not* counted as elementary lookups:
+          ``COUNTER`` sees only the probes actually issued, which is the
+          point (the saved probes are reported to ``stats`` instead).
+        * **fused view writes** — each step's aggregated delta lands on
+          the guard/view through one bulk
+          :meth:`~repro.data.relation.Relation.add_delta` pass instead
+          of one :meth:`~repro.data.relation.Relation.add` call per
+          entry.
+
+        Output keys never collide across the batch: every delta key has
+        the step's full schema, so two distinct keys extend to distinct
+        joined keys and the single-tuple assignment logic carries over;
+        only the marginalization (which drops a position) aggregates.
+        """
+        if not delta:
+            return
+        ring = self.ring
+        mul = ring.mul
+        add = ring.add
+        is_zero = ring.is_zero
+        # Inline the zero test for exact-zero rings: ``!= zero`` is one
+        # C-level comparison where ``is_zero`` is a Python call per
+        # payload — on the integer ring that call dominates otherwise.
+        exact = ring.exact_zero
+        zero = ring.zero
+        lookups = 0
+        matches = 0
+        shared = 0
+        miss = _MISS
+        try:
+            for step in self.steps:
+                for join in step.siblings:
+                    if not delta:
+                        break
+                    data = join.relation.data
+                    mode = join.mode
+                    out: dict[tuple, Any] = {}
+                    if mode == DIRECT:
+                        probe_of = _tuple_getter(join.probe_positions)
+                        cache: dict[tuple, Any] = {}
+                        for dkey, dpayload in delta.items():
+                            probe = probe_of(dkey)
+                            other = cache.get(probe, miss)
+                            if other is miss:
+                                lookups += 1
+                                other = data.get(probe)
+                                cache[probe] = other
+                            else:
+                                shared += 1
+                            if other is None:
+                                continue
+                            product = mul(dpayload, other)
+                            if (
+                                (product != zero)
+                                if exact
+                                else not is_zero(product)
+                            ):
+                                out[dkey] = product
+                    elif mode == INDEXED:
+                        probe_of = _tuple_getter(join.probe_positions)
+                        extend_of = _tuple_getter(join.extend_positions)
+                        groups = join.index.groups
+                        cache = {}
+                        for dkey, dpayload in delta.items():
+                            probe = probe_of(dkey)
+                            bucket = cache.get(probe, miss)
+                            if bucket is miss:
+                                lookups += 1
+                                bucket = groups.get(probe)
+                                cache[probe] = bucket
+                            else:
+                                shared += 1
+                            if not bucket:
+                                continue
+                            matches += len(bucket)
+                            for skey in bucket:
+                                product = mul(dpayload, data[skey])
+                                if (
+                                    (product == zero)
+                                    if exact
+                                    else is_zero(product)
+                                ):
+                                    continue
+                                out[dkey + extend_of(skey)] = product
+                    else:  # CROSS
+                        extend_of = _tuple_getter(join.extend_positions)
+                        matches += len(data) * len(delta)
+                        entries = list(data.items())
+                        for dkey, dpayload in delta.items():
+                            for skey, spayload in entries:
+                                product = mul(dpayload, spayload)
+                                if (
+                                    (product == zero)
+                                    if exact
+                                    else is_zero(product)
+                                ):
+                                    continue
+                                out[dkey + extend_of(skey)] = product
+                    delta = out
+                if not delta:
+                    return
+                guard = step.guard
+                if guard is not None:
+                    guard_of = _tuple_getter(step.guard_positions)
+                    guard.add_delta(
+                        (guard_of(dkey), dpayload)
+                        for dkey, dpayload in delta.items()
+                    )
+                out_of = _tuple_getter(step.out_positions)
+                lift = step.lift
+                aggregated: dict[tuple, Any] = {}
+                if lift is None:
+                    for dkey, dpayload in delta.items():
+                        okey = out_of(dkey)
+                        previous = aggregated.get(okey)
+                        aggregated[okey] = (
+                            dpayload
+                            if previous is None
+                            else add(previous, dpayload)
+                        )
+                else:
+                    lift_position = step.lift_position
+                    for dkey, dpayload in delta.items():
+                        okey = out_of(dkey)
+                        lifted = mul(dpayload, lift(dkey[lift_position]))
+                        previous = aggregated.get(okey)
+                        aggregated[okey] = (
+                            lifted
+                            if previous is None
+                            else add(previous, lifted)
+                        )
+                if exact:
+                    delta = {
+                        okey: opayload
+                        for okey, opayload in aggregated.items()
+                        if opayload != zero
+                    }
+                else:
+                    delta = {
+                        okey: opayload
+                        for okey, opayload in aggregated.items()
+                        if not is_zero(opayload)
+                    }
+                if delta:
+                    step.view.add_delta(delta.items())
+                if stats is not None:
+                    stats.record_delta(step.view_label, len(delta))
+                if not delta:
+                    return
+        finally:
+            if COUNTER.enabled:
+                if lookups:
+                    COUNTER.bump("lookup", lookups)
+                if matches:
+                    COUNTER.bump("enum", matches)
+            if stats is not None and (lookups or shared):
+                stats.record_probe_sharing(lookups, shared)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -34,7 +34,7 @@ from typing import Any, Iterator, Optional
 from ..data.database import Database
 from ..data.relation import Relation
 from ..data.schema import Schema
-from ..data.update import Update
+from ..data.update import Update, coalesce_grouped
 from ..naive.algebra import join_all, join_pair, marginalize, union_into
 from ..obs import Observable, observed, observed_enumeration
 from ..query.ast import Atom, Query
@@ -107,6 +107,11 @@ class ViewTreeEngine(Observable):
     #: Sample view sizes into an attached recorder every N single-tuple
     #: updates (0 disables periodic memory sampling).
     view_sample_interval: int = 64
+
+    #: Minimum batch size routed through the compiled batch kernel.
+    #: Below it there is nothing to coalesce or share, so the per-tuple
+    #: compiled path wins on plain call overhead.
+    batch_compile_threshold: int = 2
 
     def __init__(
         self,
@@ -257,15 +262,25 @@ class ViewTreeEngine(Observable):
         update_base: bool = True,
         rebuild_factor: float | None = None,
     ) -> None:
-        """Apply a batch of single-tuple updates.
+        """Apply a batch of single-tuple updates (three-way heuristic).
 
         The paper's opening observation cuts both ways: small changes are
         worth propagating, but a batch comparable to the database size is
-        cheaper to *recompute*.  With ``rebuild_factor`` set, a batch
-        larger than ``rebuild_factor * |leaves|`` skips per-tuple
-        propagation: updates land on the leaves directly and all views
-        are rebuilt bottom-up in one pass (see the batch-rebuild ablation
-        bench for the crossover).
+        cheaper to *recompute*.  The heuristic, in order:
+
+        1. **rebuild** — with ``rebuild_factor`` set, a batch larger than
+           ``rebuild_factor * |leaves|`` skips propagation: updates land
+           on the leaves directly and all views are rebuilt bottom-up in
+           one pass (see the batch-rebuild ablation bench for the
+           crossover);
+        2. **compiled batch** — with compiled plans and at least
+           ``batch_compile_threshold`` updates, the batch is coalesced
+           (same-key deltas ring-summed, cancellations dropped) and each
+           per-relation group runs through
+           :meth:`~repro.viewtree.compile.DeltaPlan.push_batch` — bulk
+           leaf writes, sibling probes shared across the group;
+        3. **per-tuple** — otherwise, one :meth:`apply` per update (the
+           generic interpretation when plans are disabled).
         """
         batch = list(batch)
         if rebuild_factor is not None:
@@ -290,8 +305,45 @@ class ViewTreeEngine(Observable):
                 if self._maintenance_stats is not None:
                     self.sample_view_sizes()
                 return
+        if self.compiled and len(batch) >= self.batch_compile_threshold:
+            self._apply_batch_compiled(batch, update_base)
+            return
         for update in batch:
             self.apply(update, update_base)
+
+    def _apply_batch_compiled(self, batch, update_base: bool) -> None:
+        """Coalesce the batch and push one grouped delta per anchor.
+
+        Correctness rests on two facts.  Update batches over a ring
+        commute, so ring-summing same-key deltas and regrouping by
+        relation preserves the batch's cumulative effect.  And for each
+        relation the anchor loop mirrors the per-tuple path at batch
+        granularity — bulk leaf insert, then one :meth:`push_batch` —
+        so by the telescoping identity ``Δ(L1·L2) = Δ·L2_old +
+        L1_new·Δ`` the grouped pushes land exactly the summed per-tuple
+        deltas (self-joins included: the anchor's own leaf is updated
+        before its push and excluded from its first sibling join, while
+        later anchors of the same relation see the earlier leaves'
+        post-batch state, matching the per-tuple interleaving's sum).
+        """
+        grouped = coalesce_grouped(batch, self.ring)
+        stats = self._maintenance_stats
+        if stats is not None:
+            stats.record_batch_coalesce(
+                len(batch), sum(len(deltas) for deltas in grouped.values())
+            )
+        database = self.database
+        for name, deltas in grouped.items():
+            if update_base and name in database:
+                database[name].add_delta(deltas.items())
+            plans = self._plans.get(name)
+            if not plans:
+                continue
+            for (_atom, _node, leaf), plan in zip(self._anchors[name], plans):
+                leaf.add_delta(deltas.items())
+                plan.push_batch(deltas, stats)
+        if stats is not None:
+            self._maybe_sample_views(len(batch))
 
     def rebuild(self) -> None:
         """Recompute every guard and view from the current leaves."""
@@ -493,12 +545,16 @@ class ViewTreeEngine(Observable):
                     total += len(leaf)
         stats.record_view_sizes(total, per_view)
 
-    def _maybe_sample_views(self) -> None:
-        """Periodic memory sampling: every ``view_sample_interval`` updates."""
+    def _maybe_sample_views(self, count: int = 1) -> None:
+        """Periodic memory sampling: every ``view_sample_interval`` updates.
+
+        ``count`` credits several logical updates at once — the batch
+        kernel samples once per batch, not per update.
+        """
         interval = self.view_sample_interval
         if not interval:
             return
-        self._updates_since_sample += 1
+        self._updates_since_sample += count
         if self._updates_since_sample >= interval:
             self._updates_since_sample = 0
             self.sample_view_sizes()

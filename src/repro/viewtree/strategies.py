@@ -46,6 +46,17 @@ class MaintenanceStrategy(Observable, ABC):
     def apply(self, update: Update) -> None:
         """Process one single-tuple update."""
 
+    @observed
+    def apply_batch(self, batch) -> None:
+        """Process a batch of updates (default: per-update loop).
+
+        Lazy strategies only touch the inputs per update, so the loop is
+        already optimal for them; ``eager-fact`` overrides this with the
+        view-tree batch kernel.
+        """
+        for update in batch:
+            self.apply(update)
+
     @abstractmethod
     def enumerate(self) -> Iterator[tuple[tuple, Any]]:
         """Enumerate all output tuples (a full enumeration request)."""
@@ -86,6 +97,12 @@ class EagerFact(MaintenanceStrategy):
     @observed
     def apply(self, update: Update) -> None:
         self.engine.apply(update)
+
+    @observed
+    def apply_batch(self, batch) -> None:
+        """Batch maintenance through the engine's three-way heuristic
+        (compiled-batch / per-tuple / rebuild)."""
+        self.engine.apply_batch(list(batch))
 
     def enumerate(self) -> Iterator[tuple[tuple, Any]]:
         return self.engine.enumerate()

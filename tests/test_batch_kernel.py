@@ -1,0 +1,465 @@
+"""Batch-compiled delta kernels (coalesce + DeltaPlan.push_batch).
+
+The batch path must be *semantically invisible*: for any valid update
+stream sliced into batches, the batch-kernel engine's views, scalars and
+enumerations are bit-identical to the per-tuple compiled path's — which
+is itself differential-tested against the generic interpreter and naive
+recomputation.  On top of equivalence, these tests pin the batch-only
+machinery: ring coalescing (cancellation, ordering), fused
+``Relation.add_delta`` writes with index maintenance, probe-sharing and
+coalescing observability counters, the ``apply_batch`` heuristic tiers,
+the Fig. 4 strategy surface, and the sharded executors (the process pool
+runs ``push_batch`` on unpickled plans).
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+
+import pytest
+
+from repro.data import Database, Update
+from repro.data.update import coalesce, coalesce_grouped
+from repro.naive import evaluate
+from repro.query import parse_query, search_order
+from repro.rings import B, CovarianceRing, LiftingMap, Z, moment_lifting
+from repro.shard import ShardedEngine
+from repro.viewtree import ViewTreeEngine
+from repro.viewtree.strategies import STRATEGIES, make_strategy
+
+from tests.conftest import valid_stream
+
+
+def seeded_db(schemas, rng, rows=60, domain=8, ring=Z):
+    db = Database(ring=ring)
+    for name, schema in schemas:
+        relation = db.create(name, schema)
+        for _ in range(rows):
+            key = tuple(rng.randrange(domain) for _ in schema)
+            relation.add(key, ring.one)
+    return db
+
+
+def batched(engine, stream, batch_size, **kwargs):
+    for start in range(0, len(stream), batch_size):
+        engine.apply_batch(stream[start : start + batch_size], **kwargs)
+
+
+class TestCoalesce:
+    def test_sums_and_drops_cancellations(self):
+        batch = [
+            Update("R", (1, 2), 1),
+            Update("S", (7,), 3),
+            Update("R", (1, 2), 2),
+            Update("R", (4, 4), 1),
+            Update("R", (4, 4), -1),
+        ]
+        result = coalesce(batch)
+        assert result == [Update("R", (1, 2), 3), Update("S", (7,), 3)]
+
+    def test_first_occurrence_order(self):
+        batch = [
+            Update("S", (1,), 1),
+            Update("R", (0, 0), 1),
+            Update("S", (2,), 1),
+            Update("S", (1,), 1),
+        ]
+        assert [(u.relation, u.key) for u in coalesce(batch)] == [
+            ("S", (1,)),
+            ("R", (0, 0)),
+            ("S", (2,)),
+        ]
+
+    def test_grouped_shape_and_empty_relations_absent(self):
+        batch = [
+            Update("R", (1,), 1),
+            Update("R", (2,), 1),
+            Update("S", (5,), 1),
+            Update("S", (5,), -1),
+        ]
+        grouped = coalesce_grouped(batch)
+        assert grouped == {"R": {(1,): 1, (2,): 1}}
+
+    def test_boolean_semiring(self):
+        """B coalesces with ``or`` — no inverses needed for dedup."""
+        batch = [
+            Update("R", (1,), True),
+            Update("R", (1,), True),
+            Update("R", (2,), False),
+        ]
+        assert coalesce(batch, B) == [Update("R", (1,), True)]
+
+    def test_empty_batch(self):
+        assert coalesce([]) == []
+        assert coalesce_grouped([]) == {}
+
+
+class TestAddDelta:
+    def test_matches_sequential_add_with_indexes(self, rng):
+        fused = Database().create("R", ("A", "B"))
+        loop = Database().create("R", ("A", "B"))
+        for relation in (fused, loop):
+            local = random.Random(101)
+            relation.index_on(("B",))
+            for _ in range(40):
+                relation.insert(local.randrange(5), local.randrange(5))
+        entries = []
+        for _ in range(60):
+            key = (rng.randrange(5), rng.randrange(5))
+            entries.append((key, rng.choice((-1, 1, 2))))
+        fused.add_delta(list(entries))
+        for key, payload in entries:
+            loop.add(key, payload)
+        assert fused.to_dict() == loop.to_dict()
+        assert (
+            fused.index_on(("B",)).groups == loop.index_on(("B",)).groups
+        )
+
+    def test_zero_payloads_skipped_and_write_count(self):
+        relation = Database().create("R", ("A",))
+        writes = relation.add_delta([((1,), 1), ((2,), 0), ((3,), 2)])
+        assert writes == 2
+        assert relation.to_dict() == {(1,): 1, (3,): 2}
+
+    def test_cancellation_removes_index_postings(self):
+        relation = Database().create("R", ("A", "B"))
+        index = relation.index_on(("A",))
+        relation.insert(1, 2)
+        relation.add_delta([((1, 2), -1)])
+        assert relation.to_dict() == {}
+        assert not index.groups.get((1,))
+
+
+QUERIES = [
+    # q-hierarchical (Fig. 3): the Theorem 4.1 fast case.
+    ("Q(Y, X, Z) = R(Y, X) * S(Y, Z)",
+     [("R", ("Y", "X")), ("S", ("Y", "Z"))], False),
+    # hierarchical but not q-hierarchical: searched free-top order.
+    ("Q(A, C) = R(A, B) * S(B, C)",
+     [("R", ("A", "B")), ("S", ("B", "C"))], True),
+    # self-join: two anchors over one base relation.
+    ("Q(A, B, C) = E(A, B) * E(B, C)",
+     [("E", ("A", "B"))], True),
+]
+
+
+class TestBatchEquivalence:
+    @pytest.mark.parametrize("text,schemas,searched", QUERIES)
+    @pytest.mark.parametrize("batch_size", [2, 17, 64])
+    def test_batch_matches_per_tuple_and_naive(
+        self, text, schemas, searched, batch_size
+    ):
+        query = parse_query(text)
+        order = search_order(query, require_free_top=True) if searched else None
+        arities = {name: len(schema) for name, schema in schemas}
+        stream = valid_stream(random.Random(23), arities, 300, domain=6)
+
+        per_tuple = ViewTreeEngine(
+            query, seeded_db(schemas, random.Random(17)), order
+        )
+        for update in stream:
+            per_tuple.apply(update)
+        batch_engine = ViewTreeEngine(
+            query, seeded_db(schemas, random.Random(17)), order
+        )
+        batched(batch_engine, stream, batch_size)
+
+        assert (
+            batch_engine.output_relation().to_dict()
+            == per_tuple.output_relation().to_dict()
+        )
+        assert sorted(batch_engine.enumerate()) == sorted(per_tuple.enumerate())
+        assert batch_engine.output_relation() == evaluate(
+            query, batch_engine.database
+        )
+
+    def test_permuted_batch_same_result(self):
+        """Batches over a ring commute: reordering within a batch is
+        invisible, so coalescing (which regroups) is sound."""
+        query = parse_query("Q(Y, X, Z) = R(Y, X) * S(Y, Z)")
+        schemas = [("R", ("Y", "X")), ("S", ("Y", "Z"))]
+        stream = valid_stream(random.Random(5), {"R": 2, "S": 2}, 200, domain=5)
+        outputs = []
+        for seed in (None, 1, 2):
+            engine = ViewTreeEngine(query, seeded_db(schemas, random.Random(3)))
+            shuffled = list(stream)
+            if seed is not None:
+                random.Random(seed).shuffle(shuffled)
+            batched(engine, shuffled, 50)
+            outputs.append(engine.output_relation().to_dict())
+        assert outputs[0] == outputs[1] == outputs[2]
+
+    def test_zipf_skew_batches(self):
+        """Hot join keys: repeated-key batches through the INDEXED probe
+        mode, where probe sharing actually fires."""
+        query = parse_query("Q(A, C) = R(A, B) * S(B, C)")
+        order = search_order(query, require_free_top=True)
+        schemas = [("R", ("A", "B")), ("S", ("B", "C"))]
+        rng = random.Random(77)
+        domain, s = 30, 1.3
+        weights = list(
+            itertools.accumulate(1.0 / (k + 1) ** s for k in range(domain))
+        )
+
+        def value():
+            return min(
+                bisect.bisect_left(weights, rng.random() * weights[-1]),
+                domain - 1,
+            )
+
+        stream = []
+        live = {"R": [], "S": []}
+        for _ in range(400):
+            name = rng.choice(("R", "S"))
+            keys = live[name]
+            if keys and rng.random() < 0.3:
+                stream.append(
+                    Update(name, keys.pop(rng.randrange(len(keys))), -1)
+                )
+            else:
+                key = (value(), value())
+                keys.append(key)
+                stream.append(Update(name, key, 1))
+
+        per_tuple = ViewTreeEngine(
+            query, seeded_db(schemas, random.Random(41)), order
+        )
+        for update in stream:
+            per_tuple.apply(update)
+        batch_engine = ViewTreeEngine(
+            query, seeded_db(schemas, random.Random(41)), order
+        )
+        batched(batch_engine, stream, 64)
+        assert (
+            batch_engine.output_relation().to_dict()
+            == per_tuple.output_relation().to_dict()
+        )
+        assert batch_engine.output_relation() == evaluate(
+            query, batch_engine.database
+        )
+
+    def test_boolean_semiring_batches(self):
+        """B has no additive inverse, so drive an insert-only stream;
+        coalescing must go through ``or``, not integer sums."""
+        query = parse_query("Q(Y, X, Z) = R(Y, X) * S(Y, Z)")
+        schemas = [("R", ("Y", "X")), ("S", ("Y", "Z"))]
+        rng = random.Random(37)
+        stream = [
+            Update(rng.choice(("R", "S")),
+                   (rng.randrange(6), rng.randrange(6)), True)
+            for _ in range(200)
+        ]
+        per_tuple = ViewTreeEngine(
+            query, seeded_db(schemas, random.Random(29), ring=B)
+        )
+        for update in stream:
+            per_tuple.apply(update)
+        batch_engine = ViewTreeEngine(
+            query, seeded_db(schemas, random.Random(29), ring=B)
+        )
+        batched(batch_engine, stream, 32)
+        assert (
+            batch_engine.output_relation().to_dict()
+            == per_tuple.output_relation().to_dict()
+        )
+
+    def test_covariance_ring_batches(self):
+        """Payloads without an exact zero test (``exact_zero=False``):
+        the kernels must fall back to ``ring.is_zero``."""
+        ring = CovarianceRing()
+        assert not ring.exact_zero
+        query = parse_query("Q(A) = R(A, V) * S(A)")
+        lifting = LiftingMap(ring, {"V": moment_lifting("V")})
+
+        def build():
+            db = Database(ring=ring)
+            db.create("R", ("A", "V"))
+            db.create("S", ("A",))
+            return db
+
+        rng = random.Random(59)
+        stream = []
+        live = []
+        for _ in range(250):
+            if rng.random() < 0.6:
+                if live and rng.random() < 0.3:
+                    key = live.pop(rng.randrange(len(live)))
+                    stream.append(Update("R", key, ring.neg(ring.one)))
+                else:
+                    key = (rng.randrange(5), rng.randrange(1, 9))
+                    live.append(key)
+                    stream.append(Update("R", key, ring.one))
+            else:
+                payload = ring.one if rng.random() < 0.75 else ring.neg(ring.one)
+                stream.append(Update("S", (rng.randrange(5),), payload))
+
+        per_tuple = ViewTreeEngine(query, build(), lifting=lifting)
+        for update in stream:
+            per_tuple.apply(update)
+        batch_engine = ViewTreeEngine(query, build(), lifting=lifting)
+        batched(batch_engine, stream, 40)
+        assert (
+            batch_engine.output_relation().to_dict()
+            == per_tuple.output_relation().to_dict()
+        )
+        assert batch_engine.output_relation() == evaluate(
+            query, batch_engine.database, lifting
+        )
+
+
+class TestBatchObservability:
+    SCHEMAS = [("R", ("Y", "X")), ("S", ("Y", "Z"))]
+    QUERY = "Q(Y, X, Z) = R(Y, X) * S(Y, Z)"
+
+    def test_full_cancellation_is_a_noop(self):
+        """A deletes-heavy batch whose updates cancel pairwise coalesces
+        to nothing: no pushes, no view writes, base unchanged."""
+        engine = ViewTreeEngine(
+            parse_query(self.QUERY), seeded_db(self.SCHEMAS, random.Random(3))
+        )
+        stats = engine.attach_stats()
+        before_views = {
+            node.variable: dict(node.view.data)
+            for root in engine.roots
+            for node in root.walk()
+        }
+        before_base = dict(engine.database["R"].data)
+        inserts = [
+            Update("R", (100 + i, i), 1) for i in range(20)
+        ] + [Update("S", (100 + i, i), 1) for i in range(20)]
+        batch = inserts + [u.inverted(Z) for u in inserts]
+        engine.apply_batch(list(batch))
+        assert stats.batch_updates_raw == len(batch)
+        assert stats.batch_updates_coalesced == 0
+        assert dict(engine.database["R"].data) == before_base
+        after_views = {
+            node.variable: dict(node.view.data)
+            for root in engine.roots
+            for node in root.walk()
+        }
+        assert after_views == before_views
+
+    def test_coalesce_counters_accumulate(self):
+        engine = ViewTreeEngine(
+            parse_query(self.QUERY), seeded_db(self.SCHEMAS, random.Random(3))
+        )
+        stats = engine.attach_stats()
+        batch = [Update("R", (1, 1), 1), Update("R", (1, 1), 1),
+                 Update("S", (1, 2), 1)]
+        engine.apply_batch(list(batch))
+        assert stats.batch_updates_raw == 3
+        assert stats.batch_updates_coalesced == 2
+        payload = stats.to_dict()["batch"]
+        assert payload["raw_updates"] == 3
+        assert payload["coalesced_updates"] == 2
+        assert "batch kernel" in stats.render()
+
+    def test_probe_sharing_recorded_on_repeated_join_keys(self):
+        """Hierarchical query: delta keys are wider than the sibling
+        probe key, so a batch hammering one join key shares probes."""
+        query = parse_query("Q(A, C) = R(A, B) * S(B, C)")
+        order = search_order(query, require_free_top=True)
+        schemas = [("R", ("A", "B")), ("S", ("B", "C"))]
+        engine = ViewTreeEngine(
+            query, seeded_db(schemas, random.Random(11)), order
+        )
+        stats = engine.attach_stats()
+        batch = [Update("R", (a, 0), 1) for a in range(30)]
+        engine.apply_batch(list(batch))
+        assert stats.sibling_probes > 0
+        assert stats.sibling_probes_shared > 0
+        payload = stats.to_dict()["batch"]
+        assert payload["probes_shared"] == stats.sibling_probes_shared
+
+    def test_small_batches_skip_the_kernel(self):
+        """Below ``batch_compile_threshold`` the per-tuple path runs and
+        no batch counters are recorded."""
+        engine = ViewTreeEngine(
+            parse_query(self.QUERY), seeded_db(self.SCHEMAS, random.Random(3))
+        )
+        stats = engine.attach_stats()
+        engine.apply_batch([Update("R", (1, 1), 1)])
+        assert stats.batch_updates_raw == 0
+
+    def test_uncompiled_engine_still_correct(self):
+        query = parse_query(self.QUERY)
+        stream = valid_stream(random.Random(9), {"R": 2, "S": 2}, 120, domain=5)
+        engine = ViewTreeEngine(
+            query,
+            seeded_db(self.SCHEMAS, random.Random(3)),
+            compile_plans=False,
+        )
+        batched(engine, stream, 30)
+        assert engine.output_relation() == evaluate(query, engine.database)
+
+
+class TestStrategiesBatch:
+    def test_all_four_strategies_agree_under_batches(self):
+        """Fig. 4 surface: apply_batch on every strategy, same output."""
+        query = parse_query("Q(Y, X, Z) = R(Y, X) * S(Y, Z)")
+        schemas = [("R", ("Y", "X")), ("S", ("Y", "Z"))]
+        stream = valid_stream(random.Random(7), {"R": 2, "S": 2}, 200, domain=6)
+        outputs = {}
+        for name in sorted(STRATEGIES):
+            strategy = make_strategy(
+                name, query, seeded_db(schemas, random.Random(13))
+            )
+            batched(strategy, stream, 40)
+            outputs[name] = dict(strategy.enumerate())
+        reference = outputs.pop("eager-fact")
+        assert reference == evaluate(
+            query, _replayed_db(schemas, stream)
+        ).to_dict()
+        for name, output in outputs.items():
+            assert output == reference, name
+
+    def test_eager_fact_batch_records_coalescing(self):
+        query = parse_query("Q(Y, X, Z) = R(Y, X) * S(Y, Z)")
+        schemas = [("R", ("Y", "X")), ("S", ("Y", "Z"))]
+        strategy = make_strategy(
+            "eager-fact", query, seeded_db(schemas, random.Random(13))
+        )
+        stats = strategy.attach_stats()
+        strategy.apply_batch(
+            [Update("R", (1, 1), 1), Update("R", (1, 1), 1)]
+        )
+        assert stats.batch_updates_raw == 2
+        assert stats.batch_updates_coalesced == 1
+
+
+def _replayed_db(schemas, stream):
+    db = seeded_db(schemas, random.Random(13))
+    for update in stream:
+        db[update.relation].add(update.key, update.payload)
+    return db
+
+
+class TestShardedBatch:
+    QUERY = "Q(B, A) = R(B, A) * S(B)"
+    SCHEMAS = [("R", ("B", "A")), ("S", ("B",))]
+
+    def _unsharded_output(self, stream):
+        query = parse_query(self.QUERY)
+        engine = ViewTreeEngine(
+            query, seeded_db(self.SCHEMAS, random.Random(47), rows=25)
+        )
+        for update in stream:
+            engine.apply(update)
+        return engine.output_relation().to_dict()
+
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_sharded_batches_match_unsharded(self, executor):
+        """The coordinator coalesces before splitting; the process pool
+        additionally exercises ``push_batch`` on unpickled plans."""
+        query = parse_query(self.QUERY)
+        stream = valid_stream(random.Random(53), {"R": 2, "S": 1}, 150)
+        expected = self._unsharded_output(stream)
+        db = seeded_db(self.SCHEMAS, random.Random(47), rows=25)
+        with ShardedEngine(
+            query, db, shards=2, executor=executor, compile_plans=True
+        ) as sharded:
+            batched(sharded, stream, 50)
+            assert sharded.output_relation().to_dict() == expected
+            assert sharded.output_relation() == evaluate(query, db)

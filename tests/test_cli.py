@@ -147,6 +147,133 @@ class TestStats:
         out = capsys.readouterr().out
         assert "no dynamic relations" in out
 
+    def test_sliding_window_batched_replay(self, tmp_path, capsys):
+        path = tmp_path / "window.json"
+        code = main(
+            [
+                "stats",
+                "Q(Y,X,Z) = R(Y,X) * S(Y,Z)",
+                "--updates",
+                "600",
+                "--workload",
+                "sliding-window",
+                "--window",
+                "64",
+                "--batch-size",
+                "50",
+                "--json",
+                str(path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "workload: sliding-window (window=64)" in out
+        # The batch kernel engaged: coalescing counters are non-zero.
+        assert "batch kernel:" in out
+        with open(path) as handle:
+            data = json.load(handle)
+        assert data["meta"]["workload"] == "sliding-window"
+        assert data["meta"]["window"] == 64
+        assert data["meta"]["batch"] == 50
+        batch = data["stats"]["batch"]
+        assert batch["raw_updates"] > 0
+        assert batch["raw_updates"] >= batch["coalesced_updates"]
+
+    def test_sliding_window_requires_deletes(self, capsys):
+        code = main(
+            [
+                "stats",
+                "Q(A) = R(A,B) * S(B)",
+                "--workload",
+                "sliding-window",
+                "--insert-only",
+            ]
+        )
+        assert code == 1
+        assert "needs deletes" in capsys.readouterr().out
+
+    def test_batch_size_alias(self, capsys):
+        code = main(
+            [
+                "stats",
+                "Q(A) = R(A,B) * S(B)",
+                "--updates",
+                "100",
+                "--batch",
+                "25",
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+
+
+class TestBenchplot:
+    def _record(self, tmp_path):
+        record = {
+            "schema": "repro.bench/1",
+            "name": "demo",
+            "tables": [
+                {
+                    "title": "throughput table",
+                    "columns": ["configuration", "uniform upd/s", "speedup"],
+                    "rows": [
+                        ["plain", "35,156", "1.00x"],
+                        ["batched", "88,000", "2.50x"],
+                    ],
+                }
+            ],
+        }
+        path = tmp_path / "BENCH_demo.json"
+        path.write_text(json.dumps(record))
+        return path
+
+    def test_ascii_fallback_renders_bars(self, tmp_path, capsys):
+        path = self._record(tmp_path)
+        out_dir = tmp_path / "plots"
+        code = main(["benchplot", str(path), "-o", str(out_dir), "--ascii"])
+        assert code == 0
+        capsys.readouterr()
+        written = list(out_dir.glob("*.txt"))
+        assert len(written) == 1
+        text = written[0].read_text()
+        assert "throughput table" in text
+        assert "uniform upd/s" in text
+        assert "#" in text
+        assert "88000" in text
+
+    def test_no_metric_tables_exits_nonzero(self, tmp_path, capsys):
+        record = {
+            "schema": "repro.bench/1",
+            "name": "empty",
+            "tables": [
+                {"title": "labels only", "columns": ["a"], "rows": [["x"]]}
+            ],
+        }
+        path = tmp_path / "BENCH_empty.json"
+        path.write_text(json.dumps(record))
+        code = main(["benchplot", str(path), "-o", str(tmp_path / "p")])
+        assert code == 1
+        assert "no plottable tables" in capsys.readouterr().out
+
+    def test_committed_records_plot(self, tmp_path, capsys):
+        """The real BENCH_*.json records in the repo must render."""
+        import os
+
+        results = os.path.join(
+            os.path.dirname(__file__), "..", "benchmarks", "results"
+        )
+        records = [
+            os.path.join(results, name)
+            for name in sorted(os.listdir(results))
+            if name.startswith("BENCH_") and name.endswith(".json")
+        ]
+        assert records
+        out_dir = tmp_path / "plots"
+        code = main(["benchplot", *records, "-o", str(out_dir), "--ascii"])
+        assert code == 0
+        capsys.readouterr()
+        assert list(out_dir.glob("*.txt"))
+
 
 class TestErrors:
     def test_bad_query(self):
