@@ -10,7 +10,7 @@ ROADMAP's cross-commit tracking item.
 Direction is inferred from the column name:
 
 * **higher is better** — throughput columns (``upd/s``, ``throughput``,
-  ``tuples/s``, ``speedup``);
+  ``tuples/s``, ``req/s``, ``speedup``);
 * **lower is better** — cost columns (``ops``, ``seconds``, ``latency``,
   ``delay``, ``time``).
 
@@ -29,7 +29,9 @@ from dataclasses import dataclass
 from typing import Any, Optional
 
 #: Substrings marking a column where larger values are better.
-HIGHER_IS_BETTER = ("upd/s", "throughput", "tuples/s", "speedup", "per sec")
+HIGHER_IS_BETTER = (
+    "upd/s", "throughput", "tuples/s", "req/s", "speedup", "per sec"
+)
 
 #: Substrings marking a column where smaller values are better.
 LOWER_IS_BETTER = ("ops", "seconds", "latency", "delay", "time (", " time", "ms")

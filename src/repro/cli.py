@@ -22,7 +22,9 @@ engine with a :class:`repro.obs.MaintenanceStats` recorder attached and
 prints (or dumps as JSON) per-update latency, enumeration delay, delta
 sizes, memory, and rebalance events — the observability layer as a tool.
 ``--no-compile`` forces the generic interpreted delta path for A/B runs
-against the compiled kernels.
+against the compiled kernels; ``--no-compile-enum`` does the same for
+the read path (generic recursive enumeration instead of the compiled
+EnumPlan kernel).
 
 ``benchplot`` renders ``repro.bench/1`` JSON records as grouped bar
 charts — PNG when matplotlib is available, ASCII bar tables otherwise,
@@ -173,6 +175,7 @@ def run_stats(
     workload: str = "uniform",
     zipf_s: float = 1.2,
     compile_plans: bool = True,
+    compile_enum: bool = True,
     window: int = 256,
 ) -> int:
     """Replay a synthetic workload and print/dump the stats recorder."""
@@ -219,7 +222,12 @@ def run_stats(
             db[name].add(random_key(name), 1)
 
     plan = plan_maintenance(
-        query, fds, insert_only, shards=shards, compile_plans=compile_plans
+        query,
+        fds,
+        insert_only,
+        shards=shards,
+        compile_plans=compile_plans,
+        compile_enum=compile_enum,
     )
     engine = IVMEngine(
         query,
@@ -229,6 +237,7 @@ def run_stats(
         plan=plan,
         shards=shards,
         compile_plans=compile_plans,
+        compile_enum=compile_enum,
     )
     stats = engine.attach_stats()
     deletes_ok = not insert_only and plan.strategy != "insert-only"
@@ -336,6 +345,7 @@ def run_stats(
                 "window": window if workload == "sliding-window" else None,
                 "batch": batch,
                 "compiled": plan.compiled,
+                "enum_compiled": plan.enum_kernel,
             },
         )
         print(f"stats written to {written}")
@@ -431,6 +441,11 @@ def main(argv: list[str] | None = None) -> int:
         help="disable the compiled delta-plan fast path (A/B against the "
         "generic interpreter)",
     )
+    stats_parser.add_argument(
+        "--no-compile-enum", action="store_true",
+        help="disable the compiled enumeration kernel (A/B against the "
+        "generic recursive walk)",
+    )
 
     plot_parser = subparsers.add_parser(
         "benchplot",
@@ -483,6 +498,7 @@ def main(argv: list[str] | None = None) -> int:
             args.workload,
             args.zipf_s,
             compile_plans=not args.no_compile,
+            compile_enum=not args.no_compile_enum,
             window=args.window,
         )
     if args.command == "benchplot":

@@ -60,13 +60,20 @@ class IVMEngine(Observable):
         shards: int = 1,
         shard_executor: str = "thread",
         compile_plans: bool = True,
+        compile_enum: bool = True,
     ):
         self.query = query
         self.database = database
         self.plan = plan or plan_maintenance(
-            query, fds, insert_only, shards=shards, compile_plans=compile_plans
+            query,
+            fds,
+            insert_only,
+            shards=shards,
+            compile_plans=compile_plans,
+            compile_enum=compile_enum,
         )
         compile_plans = compile_plans and self.plan.compiled
+        compile_enum = compile_enum and self.plan.enum_kernel
         strategy = self.plan.strategy
 
         if strategy in ("viewtree", "viewtree-hierarchical", "sharded-viewtree"):
@@ -86,6 +93,7 @@ class IVMEngine(Observable):
                     lifting=lifting,
                     executor=shard_executor,
                     compile_plans=compile_plans,
+                    compile_enum=compile_enum,
                 )
             else:
                 self._engine = ViewTreeEngine(
@@ -94,13 +102,16 @@ class IVMEngine(Observable):
                     order,
                     lifting=lifting,
                     compile_plans=compile_plans,
+                    compile_enum=compile_enum,
                 )
         elif strategy == "fd-viewtree":
             self._engine = FDEngine(query, fds, database, lifting=lifting)
         elif strategy == "static-dynamic":
             self._engine = StaticDynamicEngine(query, database, lifting=lifting)
         elif strategy == "cqap":
-            self._engine = CQAPEngine(query, database, lifting=lifting)
+            self._engine = CQAPEngine(
+                query, database, lifting=lifting, compile_enum=compile_enum
+            )
         elif strategy == "insert-only":
             self._engine = InsertOnlyEngine(query)
             for atom in query.atoms:

@@ -46,6 +46,10 @@ class Plan:
     #: three-way heuristic (compiled-batch / per-tuple / rebuild).  Set
     #: alongside ``compiled`` for the view-tree strategy family.
     batch_kernel: bool = False
+    #: Whether enumeration (including prebound CQAP access requests)
+    #: runs through a compiled EnumPlan (repro.viewtree.enumplan) —
+    #: the read-side twin of ``compiled``.
+    enum_kernel: bool = False
 
     def __str__(self) -> str:
         kernels = ""
@@ -55,6 +59,8 @@ class Plan:
                 if self.batch_kernel
                 else ", compiled kernels"
             )
+        if self.enum_kernel:
+            kernels += ", compiled enumeration"
         return (
             f"{self.strategy}: {self.reason} "
             f"[preprocess {self.preprocessing_time}, update {self.update_time}, "
@@ -90,12 +96,20 @@ _COMPILABLE_STRATEGIES = frozenset(
 )
 
 
+#: Strategies whose engine enumerates through a compiled EnumPlan (the
+#: CQAP engine compiles one plan per fracture component).
+_ENUM_COMPILABLE_STRATEGIES = frozenset(
+    {"viewtree", "viewtree-hierarchical", "sharded-viewtree", "cqap"}
+)
+
+
 def plan_maintenance(
     query: Query,
     fds: Iterable[FunctionalDependency] = (),
     insert_only: bool = False,
     shards: int = 1,
     compile_plans: bool = True,
+    compile_enum: bool = True,
 ) -> Plan:
     """Choose a maintenance plan following the Section 6 decision ladder.
 
@@ -108,7 +122,10 @@ def plan_maintenance(
     ``compile_plans`` marks view-tree plans to run single-tuple updates
     through pre-compiled delta kernels (``repro.viewtree.compile``);
     pass ``False`` (the CLI's ``--no-compile``) to force the generic
-    interpretation path.
+    interpretation path.  ``compile_enum`` is its read-side twin: it
+    marks plans whose engine enumerates through a compiled EnumPlan
+    (``repro.viewtree.enumplan``); pass ``False`` (the CLI's
+    ``--no-compile-enum``) for the generic recursive walk.
     """
     plan = _plan_unsharded(query, tuple(fds), insert_only)
     if shards > 1 and plan.strategy in _SHARDABLE_STRATEGIES:
@@ -121,6 +138,8 @@ def plan_maintenance(
         )
     if compile_plans and plan.strategy in _COMPILABLE_STRATEGIES:
         plan = replace(plan, compiled=True, batch_kernel=True)
+    if compile_enum and plan.strategy in _ENUM_COMPILABLE_STRATEGIES:
+        plan = replace(plan, enum_kernel=True)
     return plan
 
 

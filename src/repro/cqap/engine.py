@@ -31,6 +31,7 @@ class CQAPEngine(Observable):
         query: Query,
         database: Database,
         lifting: LiftingMap | None = None,
+        compile_enum: bool = True,
     ):
         if not query.input_variables:
             raise ValueError(
@@ -49,7 +50,10 @@ class CQAPEngine(Observable):
         for component in self.fracture.components:
             order = canonical_order(component)
             self.engines.append(
-                ViewTreeEngine(component, database, order, lifting)
+                ViewTreeEngine(
+                    component, database, order, lifting,
+                    compile_enum=compile_enum,
+                )
             )
         self._relations = frozenset(a.relation for a in query.atoms)
 

@@ -43,6 +43,9 @@ _SUMMARY_COUNT_KEYS = frozenset(
         "batch_updates_coalesced",
         "sibling_probes",
         "sibling_probes_shared",
+        "enum_compiled",
+        "enum_guard_probes",
+        "lazy_refreshes",
     }
 )
 
@@ -183,6 +186,13 @@ class MaintenanceStats:
         self.batch_updates_coalesced = 0
         self.sibling_probes = 0
         self.sibling_probes_shared = 0
+        #: Read-path kernel accounting: enumerations served by a compiled
+        #: EnumPlan, guard probes the kernel issued (group lookups plus
+        #: prebound point checks), and lazy-strategy on-demand recomputes
+        #: triggered inside enumerate().
+        self.enum_compiled = 0
+        self.enum_guard_probes = 0
+        self.lazy_refreshes = 0
         #: Memory accounting: samples of the engine's total view size
         #: (views + guards + leaves) taken periodically during maintenance.
         self.view_size = RunningStat()
@@ -247,6 +257,18 @@ class MaintenanceStats:
         self.sibling_probes += issued
         self.sibling_probes_shared += shared
 
+    def record_compiled_enumeration(self) -> None:
+        """One enumeration request served by a compiled EnumPlan."""
+        self.enum_compiled += 1
+
+    def record_enum_probes(self, count: int) -> None:
+        """Guard probes issued by the enumeration kernel (bulk)."""
+        self.enum_guard_probes += count
+
+    def record_lazy_refresh(self) -> None:
+        """One on-demand recompute inside a lazy strategy's enumerate()."""
+        self.lazy_refreshes += 1
+
     def record_migration(self, moved: int, to_heavy: bool) -> None:
         self.migrations += 1
         self.tuples_migrated += moved
@@ -297,13 +319,19 @@ class MaintenanceStats:
                 "batch_updates_coalesced": other.batch_updates_coalesced,
                 "sibling_probes": other.sibling_probes,
                 "sibling_probes_shared": other.sibling_probes_shared,
+                "enum_compiled": other.enum_compiled,
+                "enum_guard_probes": other.enum_guard_probes,
+                "lazy_refreshes": other.lazy_refreshes,
             }
-            # Shard-level batch-kernel work is real engine work; roll it
+            # Shard-level kernel work is real engine work; roll it
             # up into the coordinator totals like elementary ops.
             self.batch_updates_raw += other.batch_updates_raw
             self.batch_updates_coalesced += other.batch_updates_coalesced
             self.sibling_probes += other.sibling_probes
             self.sibling_probes_shared += other.sibling_probes_shared
+            self.enum_compiled += other.enum_compiled
+            self.enum_guard_probes += other.enum_guard_probes
+            self.lazy_refreshes += other.lazy_refreshes
             for view, stat in other.delta_sizes.items():
                 mine = self.delta_sizes.get(f"{label}/{view}")
                 if mine is None:
@@ -342,6 +370,9 @@ class MaintenanceStats:
         self.batch_updates_coalesced += other.batch_updates_coalesced
         self.sibling_probes += other.sibling_probes
         self.sibling_probes_shared += other.sibling_probes_shared
+        self.enum_compiled += other.enum_compiled
+        self.enum_guard_probes += other.enum_guard_probes
+        self.lazy_refreshes += other.lazy_refreshes
         self.record_ops(other.ops)
         for shard_label, summary in other.shard_summaries.items():
             mine = self.shard_summaries.get(shard_label)
@@ -384,6 +415,11 @@ class MaintenanceStats:
                 "sibling_probes": self.sibling_probes,
                 "probes_shared": self.sibling_probes_shared,
             },
+            "enumeration": {
+                "compiled": self.enum_compiled,
+                "guard_probes": self.enum_guard_probes,
+                "lazy_refreshes": self.lazy_refreshes,
+            },
             "memory": {
                 "total_view_size": self.view_size.to_dict(),
                 "view_sizes": {
@@ -423,6 +459,12 @@ class MaintenanceStats:
         )
         if self.tuples_enumerated:
             lines.append("  " + latency_line("delay", self.enum_delay))
+        if self.enum_compiled or self.lazy_refreshes:
+            lines.append(
+                f"enum kernel: {self.enum_compiled} compiled runs, "
+                f"{self.enum_guard_probes} guard probes; "
+                f"{self.lazy_refreshes} lazy refreshes"
+            )
         if self.delta_sizes:
             lines.append("delta sizes per view:")
             for view, stat in sorted(self.delta_sizes.items()):

@@ -82,6 +82,7 @@ class ShardedEngine(Observable):
         executor: str = "thread",
         max_workers: int | None = None,
         compile_plans: bool = True,
+        compile_enum: bool = True,
     ):
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -122,6 +123,7 @@ class ShardedEngine(Observable):
                 stats=self.shard_stats[index],
                 leaf_filter=ShardLeafFilter(self.router, index),
                 compile_plans=compile_plans,
+                compile_enum=compile_enum,
             )
             for index in range(self.shards)
         ]
@@ -279,18 +281,28 @@ class ShardedEngine(Observable):
             return
         yield from self._merged_output(prebound).data.items()
 
-    def _merged_output(self, prebound: dict[str, Any] | None = None) -> Relation:
+    def _merged_output(
+        self, prebound: dict[str, Any] | None = None, observed: bool = True
+    ) -> Relation:
+        """Union the shard outputs into one relation.
+
+        ``observed=False`` drains each shard's *unobserved* internal
+        iterator — materialization (``output_relation``) is not an
+        enumeration request and must not record phantom delay samples
+        into the shard recorders.
+        """
         out = Relation(
             f"{self.query.name}_merged", Schema(self.query.head), self.ring
         )
+        if observed:
+            drain = lambda e: list(e.enumerate(prebound))
+        else:
+            drain = lambda e: list(e._enumerate(prebound))
         pool = self._ensure_pool() if self.executor == "thread" else None
         if pool is None:
-            shard_outputs = [list(e.enumerate(prebound)) for e in self.engines]
+            shard_outputs = [drain(e) for e in self.engines]
         else:
-            futures = [
-                pool.submit(lambda e: list(e.enumerate(prebound)), engine)
-                for engine in self.engines
-            ]
+            futures = [pool.submit(drain, engine) for engine in self.engines]
             shard_outputs = [future.result() for future in futures]
         for entries in shard_outputs:
             for key, payload in entries:
@@ -320,7 +332,7 @@ class ShardedEngine(Observable):
         return total
 
     def output_relation(self, name: str | None = None) -> Relation:
-        out = self._merged_output()
+        out = self._merged_output(observed=False)
         out.name = name or self.query.name
         return out
 

@@ -2,6 +2,7 @@
 
 from .compile import DeltaPlan, compile_delta_plans
 from .engine import ViewNode, ViewTreeEngine
+from .enumplan import EnumPlan, compile_enum_plan
 from .strategies import (
     STRATEGIES,
     EagerFact,
@@ -15,7 +16,9 @@ from .strategies import (
 __all__ = [
     "DeltaPlan",
     "EagerFact",
+    "EnumPlan",
     "compile_delta_plans",
+    "compile_enum_plan",
     "EagerList",
     "LazyFact",
     "LazyList",

@@ -41,6 +41,7 @@ from ..query.ast import Atom, Query
 from ..query.variable_order import VariableOrder, VarOrderNode, order_for
 from ..rings.lifting import LiftingMap
 from .compile import DeltaPlan, compile_delta_plans
+from .enumplan import EnumPlan, _flatten, compile_enum_plan
 
 
 class ViewNode:
@@ -55,7 +56,6 @@ class ViewNode:
         "leaves",
         "view",
         "guard",
-        "_iter_plan",
     )
 
     def __init__(self, variable: str, dependency: tuple[str, ...], is_free: bool):
@@ -70,7 +70,6 @@ class ViewNode:
         self.view: Relation | None = None
         #: Materialized pre-marginalization join, when >1 source exists.
         self.guard: Relation | None = None
-        self._iter_plan = None
 
     def sources(self) -> list[Relation]:
         """The relations joined at this node: anchored leaves + child views."""
@@ -122,6 +121,7 @@ class ViewTreeEngine(Observable):
         stats=None,
         leaf_filter=None,
         compile_plans: bool = True,
+        compile_enum: bool = True,
     ):
         """Build the view tree over ``database``.
 
@@ -142,6 +142,14 @@ class ViewTreeEngine(Observable):
         to force the generic interpretation path (the ``--no-compile``
         escape hatch).  Batch rebuilds always use the generic bottom-up
         rebuild regardless.
+
+        ``compile_enum`` is the read-side twin: it pre-compiles one
+        :class:`~repro.viewtree.enumplan.EnumPlan` from the free-top
+        variable order so :meth:`enumerate` (including prebound CQAP
+        lookups) runs through the flat slot-array kernel; pass ``False``
+        (the ``--no-compile-enum`` escape hatch) for the generic
+        recursive walk.  Empty-head queries and non-free-top orders
+        always use the generic path.
         """
         self.query = query
         self.database = database
@@ -166,6 +174,13 @@ class ViewTreeEngine(Observable):
         if compile_plans:
             self._plans = compile_delta_plans(self)
             self.compiled = True
+        #: Compiled enumeration plan (None -> generic recursive walk).
+        self._enum_plan: EnumPlan | None = (
+            compile_enum_plan(self) if compile_enum else None
+        )
+        self.enum_compiled = self._enum_plan is not None
+        #: Lazily-built flat schedule for the generic fallback walk.
+        self._enum_schedule: list | None = None
         self._updates_since_sample = 0
         if stats is not None:
             self.attach_stats(stats)
@@ -415,11 +430,53 @@ class ViewTreeEngine(Observable):
         self, prebound: dict[str, Any] | None = None
     ) -> Iterator[tuple[tuple, Any]]:
         """Enumerate output tuples, sampling delay when stats are attached."""
-        return observed_enumeration(
-            self._maintenance_stats, self._enumerate(prebound)
-        )
+        stats = self._maintenance_stats
+        return observed_enumeration(stats, self._enumerate(prebound, stats))
 
     def _enumerate(
+        self, prebound: dict[str, Any] | None = None, stats=None
+    ) -> Iterator[tuple[tuple, Any]]:
+        """Dispatch to the compiled kernel or the generic recursive walk.
+
+        ``stats`` feeds the kernel's structural read-path counters
+        (``enum_compiled``, guard probes); internal materializations pass
+        ``None`` so they leave no trace in an attached recorder.
+        """
+        plan = self._enum_plan
+        if plan is not None:
+            return plan.iterate(prebound, stats)
+        return self._enumerate_generic(prebound)
+
+    def _enum_schedule_specs(self) -> list[tuple]:
+        """Flatten the enumeration walk for the generic fallback.
+
+        The recursion's ``children + rest`` continuation is data
+        independent, so the node sequence — with per-node guard,
+        group-variable, and leaf specs — is computed once instead of per
+        candidate (the schema position lookups and list concatenations
+        dominated the old generic profile).
+        """
+        specs: list[tuple] = []
+        for is_free, node in _flatten(self.roots):
+            if not is_free:
+                specs.append((False, node.view, node.view.schema.variables))
+                continue
+            guard = node.guard_relation()
+            guard_vars = guard.schema.variables
+            specs.append(
+                (
+                    True,
+                    node.variable,
+                    guard,
+                    tuple(v for v in guard_vars if v != node.variable),
+                    guard.schema.position(node.variable),
+                    guard_vars,
+                    tuple((leaf, atom.variables) for atom, leaf in node.leaves),
+                )
+            )
+        return specs
+
+    def _enumerate_generic(
         self, prebound: dict[str, Any] | None = None
     ) -> Iterator[tuple[tuple, Any]]:
         """Enumerate output tuples (key over the head, payload).
@@ -443,64 +500,63 @@ class ViewTreeEngine(Observable):
         head = self.query.head
         prebound = prebound or {}
         binding: dict[str, Any] = {}
+        schedule = self._enum_schedule
+        if schedule is None:
+            schedule = self._enum_schedule = self._enum_schedule_specs()
+        nsteps = len(schedule)
 
-        def rec(nodes: list[ViewNode], payload: Any) -> Iterator[tuple[tuple, Any]]:
+        def rec(i: int, payload: Any) -> Iterator[tuple[tuple, Any]]:
             if ring.is_zero(payload):
                 return
-            if not nodes:
+            if i == nsteps:
                 yield tuple(binding[v] for v in head), payload
                 return
-            node = nodes[0]
-            rest = nodes[1:]
-            if not node.is_free:
+            spec = schedule[i]
+            if not spec[0]:
                 # A fully-bound subtree contributes its view value.
-                key = tuple(binding[v] for v in node.view.schema.variables)
-                factor = node.view.get(key)
-                yield from rec(rest, ring.mul(payload, factor))
+                _, view, view_vars = spec
+                key = tuple(binding[v] for v in view_vars)
+                yield from rec(i + 1, ring.mul(payload, view.get(key)))
                 return
-            guard = node.guard_relation()
-            group_vars = tuple(
-                v for v in guard.schema.variables if v != node.variable
-            )
-            var_pos = guard.schema.position(node.variable)
-            group_key = tuple(binding[v] for v in group_vars)
-            if node.variable in prebound:
+            _, variable, guard, group_vars, var_pos, guard_vars, leaf_specs = spec
+            if variable in prebound:
                 # Access-pattern lookup: verify the given value instead of
                 # iterating candidates (one O(1) guard probe).
-                binding[node.variable] = prebound[node.variable]
-                probe = tuple(
-                    binding[v] for v in guard.schema.variables
-                )
+                binding[variable] = prebound[variable]
+                probe = tuple(binding[v] for v in guard_vars)
                 candidates = [] if ring.is_zero(guard.get(probe)) else [probe]
             else:
+                group_key = tuple(binding[v] for v in group_vars)
                 candidates = guard.group(group_vars, group_key)
             for key in candidates:
-                binding[node.variable] = key[var_pos]
+                binding[variable] = key[var_pos]
                 factor = ring.one
                 ok = True
-                for atom, leaf in node.leaves:
-                    value = leaf.get(tuple(binding[v] for v in atom.variables))
+                for leaf, leaf_vars in leaf_specs:
+                    value = leaf.get(tuple(binding[v] for v in leaf_vars))
                     if ring.is_zero(value):
                         ok = False
                         break
                     factor = ring.mul(factor, value)
                 if ok:
-                    yield from rec(
-                        list(node.children) + rest, ring.mul(payload, factor)
-                    )
-            binding.pop(node.variable, None)
+                    yield from rec(i + 1, ring.mul(payload, factor))
 
         if not head:
             payload = self.scalar()
             if not ring.is_zero(payload):
                 yield (), payload
             return
-        yield from rec(list(self.roots), ring.one)
+        yield from rec(0, ring.one)
 
     def output_relation(self, name: str | None = None) -> Relation:
-        """Materialize the output (mainly for tests and small results)."""
+        """Materialize the output (mainly for tests and small results).
+
+        Runs through the *unobserved* internal iterator: materialization
+        is not an enumeration request, so it must not inject phantom
+        ``enum_delay`` samples into an attached recorder.
+        """
         out = Relation(name or self.query.name, Schema(self.query.head), self.ring)
-        for key, payload in self.enumerate():
+        for key, payload in self._enumerate():
             out.add(key, payload)
         return out
 

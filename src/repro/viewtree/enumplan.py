@@ -1,0 +1,388 @@
+"""Compiled constant-delay enumeration kernels for the view-tree read path.
+
+This is the read-side twin of :mod:`repro.viewtree.compile`.  The generic
+factorized enumeration (:meth:`ViewTreeEngine._enumerate_generic`) already
+achieves the constant-delay bound of Theorem 4.1 / Example 4.4 for
+q-hierarchical queries under a free-top order, but — exactly like the
+pre-compilation write path — it pays a large *constant* for it: every
+surviving candidate allocates a fresh continuation list, every binding
+goes through a dict keyed by variable name, every key assembly re-reads
+``schema.position``, and every output tuple is yielded through a chain of
+nested generator frames proportional to the variable-order depth.
+
+All of that depends only on the *query*, never on the data.
+:func:`compile_enum_plan` therefore flattens the enumeration walk once,
+at engine construction:
+
+* the recursive ``children + rest`` scheduling collapses into a fixed
+  pre-order sequence of *steps*, one per free variable, each carrying the
+  deterministic bound-view probes that follow it (bound subtrees
+  contribute a single view factor and are never descended into);
+* the name-keyed binding dict becomes a flat *slot array*; every probe —
+  guard group keys, prebound guard checks, anchored-leaf lookups, bound
+  view lookups, head projection — is a precomputed tuple of slot
+  positions, assembled with ``operator.itemgetter`` at C speed;
+* the guard of every free step resolves to its
+  :class:`~repro.data.relation.GroupIndex` (created at compile time and
+  incrementally maintained by every subsequent update, exactly as the
+  generic path's lazy ``index_on`` would);
+* ring operations bind once per enumeration and the zero test inlines to
+  one ``==`` comparison for :attr:`~repro.rings.base.Semiring.exact_zero`
+  rings;
+* the driver (:meth:`EnumPlan.iterate`) is a *single* generator running
+  an explicit stack of candidate iterators — output tuples surface
+  through one frame regardless of the variable-order depth.
+
+Access-pattern requests (``enumerate(prebound=...)``, the CQAP engine of
+Section 4.3) run through the same plan: a prebound variable's step swaps
+its candidate iteration for one O(1) guard probe, so a fully-bound point
+lookup is a constant number of hash probes end to end.
+
+The kernel executes the *same* probe sequence as the generic walk — same
+guard buckets in the same insertion order, same leaf/view lookups, same
+zero tests — so outputs are bit-identical (the differential suites in
+``tests/test_enum_kernel.py`` and ``benchmarks/bench_enum_kernel.py``
+pin this) and the constant-delay asymptotics are untouched.  Elementary
+operations are counted with the generic path's shape (one ``lookup`` per
+probe, one ``enum`` per candidate consumed) and flushed to the global
+:data:`~repro.data.opcounter.COUNTER` at every yield, so delay-profile
+assertions over the counter see the same flat gaps.
+
+Everything stored on a plan is positions, relation references, group
+indexes, and the ring singleton, so compiled enumeration plans pickle
+with their engine — process-pool shards ship engines whole, and the
+pickle memo keeps plan references identical to the view tree's own
+relations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from ..data.opcounter import COUNTER
+from ..data.relation import GroupIndex, Relation
+from ..rings.base import Semiring
+from .compile import _tuple_getter
+
+#: Sentinel distinguishing "no prebound value" / "iterator exhausted"
+#: from legitimate ``None`` values.
+_MISS = object()
+
+
+class EnumStep:
+    """One free variable of the flattened enumeration walk."""
+
+    __slots__ = (
+        "variable",
+        "var_slot",
+        "var_pos",
+        "guard",
+        "index",
+        "group_positions",
+        "probe_positions",
+        "leaf_probes",
+        "post_probes",
+    )
+
+    def __init__(
+        self,
+        variable: str,
+        var_slot: int,
+        var_pos: int,
+        guard: Relation,
+        index: GroupIndex,
+        group_positions: tuple[int, ...],
+        probe_positions: tuple[int, ...],
+        leaf_probes: tuple[tuple[Relation, tuple[int, ...]], ...],
+        post_probes: tuple[tuple[Relation, tuple[int, ...]], ...],
+    ):
+        self.variable = variable
+        #: Slot receiving the candidate value bound at this step.
+        self.var_slot = var_slot
+        #: Position of the variable inside the guard's key tuples.
+        self.var_pos = var_pos
+        self.guard = guard
+        #: Guard group index on the step's ancestor variables.
+        self.index = index
+        #: Slot positions assembling the group key (guard schema order).
+        self.group_positions = group_positions
+        #: Slot positions assembling a full guard key (prebound checks).
+        self.probe_positions = probe_positions
+        #: Anchored leaves probed per candidate: (relation, slot positions).
+        self.leaf_probes = leaf_probes
+        #: Bound-subtree views probed after this step, before the next one.
+        self.post_probes = post_probes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EnumStep({self.variable!r}, leaves={len(self.leaf_probes)}, "
+            f"post={len(self.post_probes)})"
+        )
+
+
+class EnumPlan:
+    """The compiled enumeration walk for one engine's free-top order."""
+
+    __slots__ = ("ring", "nslots", "head_positions", "prefix_probes", "steps")
+
+    def __init__(
+        self,
+        ring: Semiring,
+        nslots: int,
+        head_positions: tuple[int, ...],
+        prefix_probes: tuple[tuple[Relation, tuple[int, ...]], ...],
+        steps: tuple[EnumStep, ...],
+    ):
+        self.ring = ring
+        self.nslots = nslots
+        #: Slot positions projecting the slot array onto the query head.
+        self.head_positions = head_positions
+        #: Bound-root views probed once, before any free step runs
+        #: (connected components with no free variable).
+        self.prefix_probes = prefix_probes
+        self.steps = steps
+
+    def iterate(
+        self, prebound: dict[str, Any] | None = None, stats=None
+    ) -> Iterator[tuple[tuple, Any]]:
+        """Enumerate ``(head key, payload)`` pairs through the plan.
+
+        Mirrors the generic recursive walk exactly — same candidate
+        order, same probes, same zero tests, same ring-operation order
+        (so float payloads stay bit-identical) — on flat slot arrays and
+        one explicit stack.  ``stats`` receives the structural read-path
+        counters (``enum_compiled``, guard probes); pass ``None`` for an
+        unobserved materialization.
+        """
+        ring = self.ring
+        mul = ring.mul
+        is_zero = ring.is_zero
+        exact = ring.exact_zero
+        zero = ring.zero
+        one = ring.one
+        counter = COUNTER
+        miss = _MISS
+        steps = self.steps
+        nsteps = len(steps)
+        lookups = 0
+        enums = 0
+        guard_probes = 0
+        if stats is not None:
+            stats.record_compiled_enumeration()
+        try:
+            slots: list = [None] * self.nslots
+            payload = one
+            for view, positions in self.prefix_probes:
+                lookups += 1
+                factor = view.data.get(_tuple_getter(positions)(slots))
+                if factor is None:
+                    return
+                payload = mul(payload, factor)
+                if (payload == zero) if exact else is_zero(payload):
+                    return
+
+            # Per-call locals: plain parallel lists so the hot loop pays
+            # list indexing instead of attribute lookups, and itemgetters
+            # (built here, never stored — plans must stay picklable).
+            modes = (
+                [prebound.get(step.variable, miss) for step in steps]
+                if prebound
+                else None
+            )
+            guard_data = [step.guard.data for step in steps]
+            groups = [step.index.groups for step in steps]
+            group_of = [_tuple_getter(step.group_positions) for step in steps]
+            probe_of = [_tuple_getter(step.probe_positions) for step in steps]
+            var_slot = [step.var_slot for step in steps]
+            var_pos = [step.var_pos for step in steps]
+            leaf_probes = [
+                tuple(
+                    (leaf.data, _tuple_getter(positions))
+                    for leaf, positions in step.leaf_probes
+                )
+                for step in steps
+            ]
+            post_probes = [
+                tuple(
+                    (view.data, _tuple_getter(positions))
+                    for view, positions in step.post_probes
+                )
+                for step in steps
+            ]
+            head_of = _tuple_getter(self.head_positions)
+
+            # Explicit-stack driver.  ``iters[d]`` holds the candidate
+            # iterator at depth ``d``, ``pay_in[d]`` the payload entering
+            # that depth; ``pending`` marks a freshly-entered depth whose
+            # iterator still needs creating.
+            iters: list = [None] * nsteps
+            pay_in: list = [None] * nsteps
+            checked = [False] * nsteps
+            pay_in[0] = payload
+            last = nsteps - 1
+            depth = 0
+            pending = True
+            while depth >= 0:
+                if pending:
+                    pending = False
+                    value = modes[depth] if modes is not None else miss
+                    guard_probes += 1
+                    lookups += 1
+                    if value is miss:
+                        checked[depth] = False
+                        bucket = groups[depth].get(group_of[depth](slots))
+                        if not bucket:
+                            depth -= 1
+                            continue
+                        iters[depth] = iter(bucket)
+                    else:
+                        checked[depth] = True
+                        # Access-pattern check: one O(1) guard probe for
+                        # the given value instead of candidate iteration.
+                        slots[var_slot[depth]] = value
+                        probe = probe_of[depth](slots)
+                        if probe not in guard_data[depth]:
+                            depth -= 1
+                            continue
+                        iters[depth] = iter((probe,))
+                key = next(iters[depth], miss)
+                if key is miss:
+                    depth -= 1
+                    continue
+                if not checked[depth]:
+                    enums += 1
+                slots[var_slot[depth]] = key[var_pos[depth]]
+                p = pay_in[depth]
+                factor = one
+                dead = False
+                for data, get in leaf_probes[depth]:
+                    lookups += 1
+                    value = data.get(get(slots))
+                    if value is None:
+                        dead = True
+                        break
+                    factor = mul(factor, value)
+                if dead:
+                    continue
+                p = mul(p, factor)
+                if (p == zero) if exact else is_zero(p):
+                    continue
+                for data, get in post_probes[depth]:
+                    lookups += 1
+                    value = data.get(get(slots))
+                    if value is None:
+                        dead = True
+                        break
+                    p = mul(p, value)
+                    if (p == zero) if exact else is_zero(p):
+                        dead = True
+                        break
+                if dead:
+                    continue
+                if depth == last:
+                    if counter.enabled:
+                        if lookups:
+                            counter.bump("lookup", lookups)
+                            lookups = 0
+                        if enums:
+                            counter.bump("enum", enums)
+                            enums = 0
+                    yield head_of(slots), p
+                    continue
+                depth += 1
+                pay_in[depth] = p
+                pending = True
+        finally:
+            if counter.enabled:
+                if lookups:
+                    counter.bump("lookup", lookups)
+                if enums:
+                    counter.bump("enum", enums)
+            if stats is not None and guard_probes:
+                stats.record_enum_probes(guard_probes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EnumPlan(steps={len(self.steps)}, slots={self.nslots})"
+
+
+def _flatten(roots) -> list[tuple[bool, Any]]:
+    """The fixed visit sequence of the factorized walk.
+
+    The generic recursion's continuation — ``children + rest`` at a free
+    node, ``rest`` at a bound one — depends only on the tree, so the
+    whole walk flattens to one pre-order sequence in which bound nodes
+    are leaves (their view summarizes the subtree).
+    """
+    sequence: list[tuple[bool, Any]] = []
+    worklist = list(roots)
+    while worklist:
+        node = worklist.pop(0)
+        if node.is_free:
+            sequence.append((True, node))
+            worklist = list(node.children) + worklist
+        else:
+            sequence.append((False, node))
+    return sequence
+
+
+def compile_enum_plan(engine) -> Optional[EnumPlan]:
+    """Compile the engine's enumeration walk into an :class:`EnumPlan`.
+
+    Requires a free-top order and a non-empty head (callers gate on
+    both; empty-head queries go through ``scalar()``).  Returns ``None``
+    when there is nothing to compile.
+    """
+    query = engine.query
+    if not query.head or not engine.order.is_free_top():
+        return None
+    sequence = _flatten(engine.roots)
+    slot_of: dict[str, int] = {}
+    prefix_probes: list[tuple[Relation, tuple[int, ...]]] = []
+    steps: list[EnumStep] = []
+    pending_posts: list[tuple[Relation, tuple[int, ...]]] = []
+
+    def slots_for(variables) -> tuple[int, ...]:
+        return tuple(slot_of[v] for v in variables)
+
+    for is_free, node in sequence:
+        if not is_free:
+            probe = (node.view, slots_for(node.view.schema.variables))
+            if steps:
+                pending_posts.append(probe)
+            else:
+                prefix_probes.append(probe)
+            continue
+        if steps:
+            previous = steps[-1]
+            previous.post_probes = tuple(pending_posts)
+        pending_posts.clear()
+        slot = slot_of.setdefault(node.variable, len(slot_of))
+        guard = node.guard_relation()
+        guard_vars = guard.schema.variables
+        group_vars = tuple(v for v in guard_vars if v != node.variable)
+        steps.append(
+            EnumStep(
+                node.variable,
+                slot,
+                guard.schema.position(node.variable),
+                guard,
+                guard.index_on(group_vars),
+                slots_for(group_vars),
+                slots_for(guard_vars),
+                tuple(
+                    (leaf, slots_for(atom.variables))
+                    for atom, leaf in node.leaves
+                ),
+                (),
+            )
+        )
+    if not steps:
+        return None
+    steps[-1].post_probes = tuple(pending_posts)
+    return EnumPlan(
+        engine.ring,
+        len(slot_of),
+        tuple(slot_of[v] for v in query.head),
+        tuple(prefix_probes),
+        tuple(steps),
+    )

@@ -86,9 +86,15 @@ class EagerFact(MaintenanceStrategy):
         order: VariableOrder | None = None,
         lifting: LiftingMap | None = None,
         compile_plans: bool = True,
+        compile_enum: bool = True,
     ):
         self.engine = ViewTreeEngine(
-            query, database, order, lifting, compile_plans=compile_plans
+            query,
+            database,
+            order,
+            lifting,
+            compile_plans=compile_plans,
+            compile_enum=compile_enum,
         )
 
     def _propagate_stats(self, stats) -> None:
@@ -162,6 +168,8 @@ class LazyList(MaintenanceStrategy):
 
     def enumerate(self) -> Iterator[tuple[tuple, Any]]:
         if self._dirty:
+            if self._maintenance_stats is not None:
+                self._maintenance_stats.record_lazy_refresh()
             self._output = evaluate(self.query, self.database, self.lifting)
             self._dirty = False
         return self._output.items()
@@ -178,15 +186,23 @@ class LazyFact(MaintenanceStrategy):
         database: Database,
         order: VariableOrder | None = None,
         lifting: LiftingMap | None = None,
+        compile_enum: bool = True,
     ):
         self.query = query
         self.database = database
         self.order = order
         self.lifting = lifting
+        self.compile_enum = compile_enum
         # Lazy rebuilds never propagate deltas, so compiling per-anchor
-        # delta plans on every rebuild would be pure overhead.
+        # delta plans on every rebuild would be pure overhead.  The
+        # enumeration plan, by contrast, is what serves the request.
         self._engine = ViewTreeEngine(
-            query, database, order, lifting, compile_plans=False
+            query,
+            database,
+            order,
+            lifting,
+            compile_plans=False,
+            compile_enum=compile_enum,
         )
         self._dirty = False
 
@@ -200,12 +216,15 @@ class LazyFact(MaintenanceStrategy):
 
     def enumerate(self) -> Iterator[tuple[tuple, Any]]:
         if self._dirty:
+            if self._maintenance_stats is not None:
+                self._maintenance_stats.record_lazy_refresh()
             self._engine = ViewTreeEngine(
                 self.query,
                 self.database,
                 self.order,
                 self.lifting,
                 compile_plans=False,
+                compile_enum=self.compile_enum,
             )
             # The rebuilt tree inherits the attached recorder, if any.
             self._engine._maintenance_stats = self._maintenance_stats
@@ -230,4 +249,5 @@ def make_strategy(
         ) from None
     if factory is EagerList or factory is LazyList:
         kwargs.pop("order", None)
+        kwargs.pop("compile_enum", None)
     return factory(query, database, **kwargs)
