@@ -134,30 +134,12 @@ def demo() -> int:
 def _make_value_sampler(rng, domain: int, workload: str, zipf_s: float):
     """A ``() -> int`` attribute-value sampler for the chosen workload.
 
-    ``uniform`` draws each value with equal probability; ``zipf`` draws
-    value ``k`` with probability proportional to ``1/(k+1)**s``, so a few
-    hot join-key values dominate — the adversarial shape for hash
-    sharding (hot keys pile onto one shard) and for heavy/light
-    partitioning schemes.
+    Shared with the serving load generator — see
+    :func:`repro.serve.loadgen.value_sampler` for the shapes.
     """
-    if workload == "uniform":
-        return lambda: rng.randrange(domain)
-    if workload == "zipf":
-        import bisect
-        import itertools
+    from .serve.loadgen import value_sampler
 
-        weights = [1.0 / (k + 1) ** zipf_s for k in range(domain)]
-        cumulative = list(itertools.accumulate(weights))
-        total = cumulative[-1]
-
-        def sample() -> int:
-            return min(
-                bisect.bisect_left(cumulative, rng.random() * total),
-                domain - 1,
-            )
-
-        return sample
-    raise ValueError(f"unknown workload shape {workload!r}")
+    return value_sampler(rng, domain, workload, zipf_s)
 
 
 def run_stats(
@@ -254,9 +236,14 @@ def run_stats(
         print("--workload sliding-window needs deletes (drop --insert-only)")
         return 1
 
+    enum_seconds = 0.0
+
     def drain() -> None:
+        nonlocal enum_seconds
+        begin = time.perf_counter()
         for _ in engine.enumerate():
             pass
+        enum_seconds += time.perf_counter() - begin
 
     # A valid update stream: deletes only retract still-live insertions,
     # so multiplicities stay non-negative and enumeration stays sound.
@@ -268,51 +255,56 @@ def run_stats(
     fifo: deque[tuple[str, tuple]] = deque()
     pending: list[Update] = []
     start = time.perf_counter()
-    for index in range(updates):
-        relation = dynamic[rng.randrange(len(dynamic))]
-        if workload == "sliding-window":
-            if len(fifo) >= max(window, 1):
-                relation, key = fifo.popleft()
-                update = Update(relation, key, -1)
+    try:
+        for index in range(updates):
+            relation = dynamic[rng.randrange(len(dynamic))]
+            if workload == "sliding-window":
+                if len(fifo) >= max(window, 1):
+                    relation, key = fifo.popleft()
+                    update = Update(relation, key, -1)
+                else:
+                    key = random_key(relation)
+                    fifo.append((relation, key))
+                    update = Update(relation, key, 1)
             else:
-                key = random_key(relation)
-                fifo.append((relation, key))
-                update = Update(relation, key, 1)
-        else:
-            keys = live[relation]
-            if deletes_ok and keys and rng.random() < 0.25:
-                key = keys.pop(rng.randrange(len(keys)))
-                update = Update(relation, key, -1)
+                keys = live[relation]
+                if deletes_ok and keys and rng.random() < 0.25:
+                    key = keys.pop(rng.randrange(len(keys)))
+                    update = Update(relation, key, -1)
+                else:
+                    key = random_key(relation)
+                    keys.append(key)
+                    update = Update(relation, key, 1)
+            if batched:
+                pending.append(update)
+                if len(pending) >= max(batch, 1):
+                    engine.apply_batch(pending)
+                    pending.clear()
             else:
-                key = random_key(relation)
-                keys.append(key)
-                update = Update(relation, key, 1)
-        if batched:
-            pending.append(update)
-            if len(pending) >= max(batch, 1):
-                engine.apply_batch(pending)
-                pending.clear()
-        else:
-            engine.apply(update)
-        if (
-            can_enumerate
-            and enum_interval
-            and (index + 1) % (max(batch, 1) * enum_interval) == 0
-        ):
-            if pending:
-                engine.apply_batch(pending)
-                pending.clear()
+                engine.apply(update)
+            if (
+                can_enumerate
+                and enum_interval
+                and (index + 1) % (max(batch, 1) * enum_interval) == 0
+            ):
+                if pending:
+                    engine.apply_batch(pending)
+                    pending.clear()
+                drain()
+        if pending:
+            engine.apply_batch(pending)
+            pending.clear()
+        if can_enumerate:
             drain()
-    if pending:
-        engine.apply_batch(pending)
-        pending.clear()
-    if can_enumerate:
-        drain()
-    seconds = time.perf_counter() - start
-
-    if sharded:
-        stats = engine.backend.merged_stats()
-        engine.backend.close()
+        seconds = time.perf_counter() - start
+        if sharded:
+            stats = engine.backend.merged_stats()
+    finally:
+        # Close unconditionally: an exception mid-replay must not leak
+        # the sharded backend's process-pool workers.
+        close = getattr(engine.backend, "close", None)
+        if close is not None:
+            close()
 
     print(f"query: {query}")
     print(f"plan:  {plan}")
@@ -325,8 +317,20 @@ def run_stats(
     print()
     print(stats.render())
     print()
-    rate = updates / seconds if seconds > 0 else 0.0
-    print(f"replayed {updates} updates in {seconds:.3f}s ({rate:,.0f} upd/s)")
+    # ``seconds`` includes the periodic drain() enumerations, so the
+    # end-to-end rate undersells pure maintenance throughput; report
+    # both so benchdiff compares like with like.
+    maintenance_seconds = max(seconds - enum_seconds, 0.0)
+    rate_maintenance = (
+        updates / maintenance_seconds if maintenance_seconds > 0 else 0.0
+    )
+    rate_end_to_end = updates / seconds if seconds > 0 else 0.0
+    print(
+        f"replayed {updates} updates in {seconds:.3f}s "
+        f"({rate_maintenance:,.0f} upd/s maintenance-only, "
+        f"{rate_end_to_end:,.0f} upd/s end-to-end incl. "
+        f"{enum_seconds:.3f}s enumeration)"
+    )
     if json_path:
         written = write_stats_json(
             json_path,
@@ -339,6 +343,10 @@ def run_stats(
                 "domain": domain,
                 "seed": seed,
                 "seconds": seconds,
+                "seconds_maintenance": maintenance_seconds,
+                "seconds_enumeration": enum_seconds,
+                "rate_maintenance": rate_maintenance,
+                "rate_end_to_end": rate_end_to_end,
                 "shards": shards,
                 "workload": workload,
                 "zipf_s": zipf_s if workload == "zipf" else None,
@@ -346,6 +354,161 @@ def run_stats(
                 "batch": batch,
                 "compiled": plan.compiled,
                 "enum_compiled": plan.enum_kernel,
+            },
+        )
+        print(f"stats written to {written}")
+    return 0
+
+
+def run_serve(
+    text: str,
+    fd_texts: list[str],
+    updates: int,
+    writers: int,
+    readers: int,
+    prefill: int,
+    domain: int,
+    seed: int,
+    max_batch: int,
+    max_delay_ms: float,
+    high_water: int,
+    json_path: str | None,
+    shards: int = 1,
+    workload: str = "uniform",
+    zipf_s: float = 1.2,
+    window: int = 256,
+    per_update: bool = False,
+    smoke: bool = False,
+) -> int:
+    """Closed-loop load test against the async serving front-end."""
+    import asyncio
+
+    from .constraints.fds import FunctionalDependency
+    from .core.engine import IVMEngine
+    from .data.database import Database
+    from .obs import write_stats_json
+    from .serve import AsyncIVMServer, run_load_test
+    from .shard.engine import ShardedEngine
+
+    query = parse_query(text)
+    fds = tuple(FunctionalDependency.parse(t) for t in fd_texts)
+    if query.input_variables:
+        print("serve needs an enumerable query (no input variables)")
+        return 1
+    if smoke:
+        updates = min(updates, 500)
+
+    import random
+
+    rng = random.Random(seed ^ 0xF111)
+    value = _make_value_sampler(
+        rng,
+        domain,
+        "uniform" if workload == "sliding-window" else workload,
+        zipf_s,
+    )
+    db = Database()
+    static_names = {atom.relation for atom in getattr(query, "static_atoms", ())}
+    dynamic = []
+    for atom in query.atoms:
+        if atom.relation not in db:
+            db.create(atom.relation, atom.variables)
+            if atom.relation not in static_names:
+                dynamic.append(atom.relation)
+            for _ in range(prefill):
+                db[atom.relation].add(
+                    tuple(value() for _ in atom.variables), 1
+                )
+    if not dynamic:
+        print("query has no dynamic relations; nothing to serve")
+        return 1
+
+    plan = plan_maintenance(query, fds, shards=shards)
+    engine = IVMEngine(query, db, fds, plan=plan, shards=shards)
+    if per_update:
+        max_batch, max_delay_ms = 1, 0.0
+    server = AsyncIVMServer(
+        engine,
+        max_batch=max_batch,
+        max_delay=max_delay_ms / 1000.0,
+        high_water=high_water,
+    )
+    stats = server.attach_stats()
+
+    async def run() -> dict:
+        async with server:
+            return await run_load_test(
+                server,
+                query,
+                updates,
+                writers=writers,
+                readers=readers,
+                domain=domain,
+                seed=seed,
+                workload=workload,
+                zipf_s=zipf_s,
+                window=window,
+                deletes_ok=plan.strategy != "insert-only",
+            )
+
+    sharded = isinstance(engine.backend, ShardedEngine)
+    try:
+        summary = asyncio.run(run())
+        if sharded:
+            stats = engine.backend.merged_stats()
+    finally:
+        close = getattr(engine.backend, "close", None)
+        if close is not None:
+            close()
+
+    print(f"query: {query}")
+    print(f"plan:  {plan}")
+    shape = ""
+    if workload == "zipf":
+        shape = f" (s={zipf_s})"
+    elif workload == "sliding-window":
+        shape = f" (window={window})"
+    print(f"workload: {workload}{shape}")
+    print(
+        f"serving:  {writers} writers + {readers} readers, "
+        f"max_batch={max_batch} max_delay={max_delay_ms:g}ms "
+        f"high_water={high_water}"
+    )
+    print()
+    print(stats.render())
+    print()
+    print(
+        f"served {updates} updates in {summary['seconds']:.3f}s "
+        f"({summary['rate_maintenance']:,.0f} upd/s maintenance-only, "
+        f"{summary['rate_end_to_end']:,.0f} upd/s end-to-end)"
+    )
+    print(
+        f"commit latency p50<={summary['commit_p50']:.2g}s "
+        f"p99<={summary['commit_p99']:.2g}s; "
+        f"read staleness p50<={summary['staleness_p50']:.2g}s "
+        f"p99<={summary['staleness_p99']:.2g}s "
+        f"over {summary['reads']} reads"
+    )
+    if json_path:
+        written = write_stats_json(
+            json_path,
+            stats,
+            meta={
+                "mode": "serve",
+                "query": str(query),
+                "plan": plan.strategy,
+                "shards": shards,
+                "workload": workload,
+                "zipf_s": zipf_s if workload == "zipf" else None,
+                "window": window if workload == "sliding-window" else None,
+                "prefill": prefill,
+                "domain": domain,
+                "seed": seed,
+                "max_batch": max_batch,
+                "max_delay_ms": max_delay_ms,
+                "high_water": high_water,
+                "per_update": per_update,
+                **summary,
             },
         )
         print(f"stats written to {written}")
@@ -447,6 +610,76 @@ def main(argv: list[str] | None = None) -> int:
         "generic recursive walk)",
     )
 
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="closed-loop load test of the async group-commit serving "
+        "front-end (concurrent writers + readers)",
+    )
+    serve_parser.add_argument("query", help='e.g. "Q(A) = R(A,B) * S(B)"')
+    serve_parser.add_argument(
+        "--fd", action="append", default=[], metavar="'X -> Y'",
+        help="functional dependency (repeatable)",
+    )
+    serve_parser.add_argument(
+        "--updates", type=int, default=5000,
+        help="total updates across all writers (default 5000)",
+    )
+    serve_parser.add_argument(
+        "--writers", type=int, default=4,
+        help="concurrent writer tasks (default 4)",
+    )
+    serve_parser.add_argument(
+        "--readers", type=int, default=2,
+        help="concurrent point-lookup reader tasks (default 2)",
+    )
+    serve_parser.add_argument(
+        "--prefill", type=int, default=50,
+        help="tuples preloaded per relation (default 50)",
+    )
+    serve_parser.add_argument(
+        "--domain", type=int, default=16,
+        help="attribute value domain size (default 16)",
+    )
+    serve_parser.add_argument("--seed", type=int, default=0)
+    serve_parser.add_argument(
+        "--max-batch", type=int, default=256,
+        help="group-commit size trigger (default 256)",
+    )
+    serve_parser.add_argument(
+        "--max-delay", type=float, default=2.0, metavar="MS",
+        help="group-commit latency trigger in milliseconds (default 2)",
+    )
+    serve_parser.add_argument(
+        "--high-water", type=int, default=4096,
+        help="queue depth at which submit() blocks (default 4096)",
+    )
+    serve_parser.add_argument(
+        "--shards", type=int, default=1,
+        help="hash-partition maintenance across N shards (default 1)",
+    )
+    serve_parser.add_argument(
+        "--workload",
+        choices=("uniform", "zipf", "sliding-window"),
+        default="uniform",
+        help="stream shape (default uniform)",
+    )
+    serve_parser.add_argument("--zipf-s", type=float, default=1.2)
+    serve_parser.add_argument("--window", type=int, default=256)
+    serve_parser.add_argument(
+        "--per-update", action="store_true",
+        help="commit every update individually (max_batch=1, no "
+        "deadline) — the group-commit A/B baseline",
+    )
+    serve_parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="dump the recorder (with the serving block) as repro.obs/1 "
+        "JSON",
+    )
+    serve_parser.add_argument(
+        "--smoke", action="store_true",
+        help="clamp to a short CI-sized run (at most 500 updates)",
+    )
+
     plot_parser = subparsers.add_parser(
         "benchplot",
         help="render repro.bench/1 JSON records as charts (PNG, or ASCII "
@@ -500,6 +733,27 @@ def main(argv: list[str] | None = None) -> int:
             compile_plans=not args.no_compile,
             compile_enum=not args.no_compile_enum,
             window=args.window,
+        )
+    if args.command == "serve":
+        return run_serve(
+            args.query,
+            args.fd,
+            args.updates,
+            args.writers,
+            args.readers,
+            args.prefill,
+            args.domain,
+            args.seed,
+            args.max_batch,
+            args.max_delay,
+            args.high_water,
+            args.json,
+            args.shards,
+            args.workload,
+            args.zipf_s,
+            args.window,
+            per_update=args.per_update,
+            smoke=args.smoke,
         )
     if args.command == "benchplot":
         from .bench.plot import benchplot

@@ -208,6 +208,35 @@ class IVMEngine(Observable):
             return engine.scalar()
         raise TypeError(f"plan {self.plan.strategy!r} has no scalar output")
 
+    def lookup(self, key: tuple) -> Any:
+        """Payload of one output tuple (ring zero when absent).
+
+        Backends with a point-lookup fast path (view-tree family,
+        sharded) answer with O(1) guard probes; the rest fall back to a
+        scan of ``enumerate()`` that stops at the first match.
+        """
+        key = tuple(key)
+        head = self.query.head
+        if not head:
+            if key:
+                raise ValueError(
+                    f"lookup key {key!r} does not match empty head"
+                )
+            return self.scalar()
+        if len(key) != len(head):
+            raise ValueError(
+                f"lookup key {key!r} does not match head {head!r}"
+            )
+        engine = self._engine
+        backend_lookup = getattr(engine, "lookup", None)
+        if backend_lookup is not None:
+            return backend_lookup(key)
+        ring = self.database.ring
+        for found, payload in self.enumerate():
+            if found == key:
+                return payload
+        return ring.zero
+
     @property
     def backend(self):
         """The underlying specialised engine (for advanced use)."""

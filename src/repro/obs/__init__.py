@@ -27,9 +27,10 @@ from .export import (
     write_stats_json,
 )
 from .instrument import Observable, observed, observed_enumeration, share_stats
-from .stats import LatencyHistogram, MaintenanceStats, RunningStat
+from .stats import CountHistogram, LatencyHistogram, MaintenanceStats, RunningStat
 
 __all__ = [
+    "CountHistogram",
     "LatencyHistogram",
     "MaintenanceStats",
     "Observable",

@@ -19,11 +19,24 @@ Histograms are log2-bucketed over seconds: pure-Python wall-clock numbers
 are noisy, but their order of magnitude is stable, which is exactly what
 a bucketed histogram preserves.  Everything serializes via
 :meth:`MaintenanceStats.to_dict` into plain JSON types.
+
+Thread safety: one recorder may be shared across threads — the sharded
+coordinator drains shard enumerations on a thread pool, and the serving
+front-end (:mod:`repro.serve`) commits batches on an executor thread
+while the event-loop thread records reads.  Every mutating ``record_*``
+method and :meth:`MaintenanceStats.merge` therefore holds the recorder's
+internal lock (unattached engines never pay for it — no recorder, no
+call), and the :func:`~repro.obs.instrument.observed` reentrancy depth is
+tracked per *thread*, so an observed call on one thread does not suppress
+recording on another.  The lock and the thread-local are dropped on
+pickling (process-pool shards ship recorders inside engines) and rebuilt
+fresh on unpickling.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 from typing import Any, Iterable
 
 #: Smallest latency bucket boundary (100 ns — below timer resolution).
@@ -46,6 +59,8 @@ _SUMMARY_COUNT_KEYS = frozenset(
         "enum_compiled",
         "enum_guard_probes",
         "lazy_refreshes",
+        "point_lookups",
+        "lookup_shards_probed",
     }
 )
 
@@ -156,6 +171,69 @@ class LatencyHistogram:
         )
 
 
+class CountHistogram:
+    """Log2-bucketed histogram of non-negative integer counts.
+
+    The integer twin of :class:`LatencyHistogram`, used for quantities
+    like batch sizes and queue depths whose order of magnitude is the
+    interesting part.  Bucket ``i`` covers ``[2^(i-1), 2^i - 1]`` (bucket
+    0 holds exact zeros), so percentiles are conservative upper bounds
+    within a factor of 2, same as the latency buckets.
+    """
+
+    __slots__ = ("buckets", "stat")
+
+    def __init__(self):
+        self.buckets: dict[int, int] = {}
+        self.stat = RunningStat()
+
+    def record(self, value: int) -> None:
+        if value < 0:
+            value = 0
+        self.stat.record(value)
+        index = int(value).bit_length()
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    @property
+    def count(self) -> int:
+        return self.stat.count
+
+    def percentile(self, q: float) -> float:
+        """Upper bucket boundary at quantile ``q`` in [0, 1]."""
+        if not self.stat.count:
+            return 0.0
+        rank = max(1, math.ceil(q * self.stat.count))
+        seen = 0
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen >= rank:
+                return 0.0 if index == 0 else float(2 ** index - 1)
+        return self.stat.maximum
+
+    def merge(self, other: "CountHistogram") -> None:
+        self.stat.merge(other.stat)
+        for index, count in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + count
+
+    def to_dict(self) -> dict:
+        summary = self.stat.to_dict()
+        if self.stat.count:
+            summary["p50"] = self.percentile(0.50)
+            summary["p95"] = self.percentile(0.95)
+            summary["p99"] = self.percentile(0.99)
+        summary["buckets"] = {
+            ("0" if index == 0 else f"<={2 ** index - 1}"): self.buckets[index]
+            for index in sorted(self.buckets)
+        }
+        return summary
+
+    def __repr__(self) -> str:
+        return (
+            f"CountHistogram(count={self.stat.count}, "
+            f"mean={self.stat.mean:.3g})"
+        )
+
+
 class MaintenanceStats:
     """Structured recorder for one engine's maintenance activity."""
 
@@ -198,11 +276,55 @@ class MaintenanceStats:
         self.view_size = RunningStat()
         #: View/guard name -> size-sample distribution.
         self.view_sizes: dict[str, RunningStat] = {}
+        #: Point-lookup accounting: fully-prebound key lookups served and
+        #: how many shard engines each one probed (unsharded lookups
+        #: count one) — the counters behind the sharded early-break fix.
+        self.point_lookups = 0
+        self.lookup_shards_probed = 0
+        #: Serving accounting (repro.serve): group commits by trigger,
+        #: per-commit latency / batch-size / queue-depth histograms,
+        #: submit and backpressure counters, and read staleness samples.
+        self.submits = 0
+        self.commits = 0
+        self.size_commits = 0
+        self.deadline_commits = 0
+        self.drain_commits = 0
+        self.commit_latency = LatencyHistogram()
+        self.commit_batch_size = CountHistogram()
+        self.commit_queue_depth = CountHistogram()
+        self.backpressure_waits = 0
+        self.backpressure_wait = LatencyHistogram()
+        self.serve_lookups = 0
+        self.read_staleness = LatencyHistogram()
         #: Per-shard summaries recorded by labelled merges (sharded runs).
         self.shard_summaries: dict[str, dict] = {}
+        # Recorders may be shared across threads (thread-pool shards,
+        # the serve commit executor); every mutation holds this lock.
+        self._lock = threading.RLock()
         # Reentrancy guard: engines stack (facade -> cascade -> view tree),
         # and only the outermost observed call should count the update.
-        self._depth = 0
+        # Tracked per thread so concurrent observed calls on different
+        # threads do not suppress each other's recording.
+        self._local = threading.local()
+
+    @property
+    def _depth(self) -> int:
+        return getattr(self._local, "depth", 0)
+
+    @_depth.setter
+    def _depth(self, value: int) -> None:
+        self._local.depth = value
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state.pop("_lock", None)
+        state.pop("_local", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
+        self._local = threading.local()
 
     # ------------------------------------------------------------------
     # Recording API (called from instrumentation hooks)
@@ -210,26 +332,30 @@ class MaintenanceStats:
 
     def record_update(self, seconds: float, kind: str = "apply") -> None:
         """One top-level ``apply``/``update`` (or ``*_batch``) call."""
-        if kind.endswith("batch"):
-            self.batches += 1
-            self.batch_latency.record(seconds)
-        else:
-            self.updates += 1
-            self.update_latency.record(seconds)
+        with self._lock:
+            if kind.endswith("batch"):
+                self.batches += 1
+                self.batch_latency.record(seconds)
+            else:
+                self.updates += 1
+                self.update_latency.record(seconds)
 
     def record_delta(self, view: str, size: int) -> None:
         """Size of one delta propagated into ``view``."""
-        stat = self.delta_sizes.get(view)
-        if stat is None:
-            stat = self.delta_sizes[view] = RunningStat()
-        stat.record(size)
+        with self._lock:
+            stat = self.delta_sizes.get(view)
+            if stat is None:
+                stat = self.delta_sizes[view] = RunningStat()
+            stat.record(size)
 
     def record_enumeration(self) -> None:
-        self.enumerations += 1
+        with self._lock:
+            self.enumerations += 1
 
     def record_enum_delay(self, seconds: float) -> None:
-        self.enum_delay.record(seconds)
-        self.tuples_enumerated += 1
+        with self._lock:
+            self.enum_delay.record(seconds)
+            self.tuples_enumerated += 1
 
     def record_view_sizes(
         self, total: int, per_view: dict[str, int] | None = None
@@ -240,46 +366,113 @@ class MaintenanceStats:
         ``ViewTreeEngine.view_sample_interval``), turning the space side
         of the IVM trade-off into a recorded series.
         """
-        self.view_size.record(total)
-        for view, size in (per_view or {}).items():
-            stat = self.view_sizes.get(view)
-            if stat is None:
-                stat = self.view_sizes[view] = RunningStat()
-            stat.record(size)
+        with self._lock:
+            self.view_size.record(total)
+            for view, size in (per_view or {}).items():
+                stat = self.view_sizes.get(view)
+                if stat is None:
+                    stat = self.view_sizes[view] = RunningStat()
+                stat.record(size)
 
     def record_batch_coalesce(self, raw: int, coalesced: int) -> None:
         """One compiled-batch run: raw updates vs. surviving deltas."""
-        self.batch_updates_raw += raw
-        self.batch_updates_coalesced += coalesced
+        with self._lock:
+            self.batch_updates_raw += raw
+            self.batch_updates_coalesced += coalesced
 
     def record_probe_sharing(self, issued: int, shared: int) -> None:
         """Sibling probes actually issued vs. saved by the probe cache."""
-        self.sibling_probes += issued
-        self.sibling_probes_shared += shared
+        with self._lock:
+            self.sibling_probes += issued
+            self.sibling_probes_shared += shared
 
     def record_compiled_enumeration(self) -> None:
         """One enumeration request served by a compiled EnumPlan."""
-        self.enum_compiled += 1
+        with self._lock:
+            self.enum_compiled += 1
 
     def record_enum_probes(self, count: int) -> None:
         """Guard probes issued by the enumeration kernel (bulk)."""
-        self.enum_guard_probes += count
+        with self._lock:
+            self.enum_guard_probes += count
 
     def record_lazy_refresh(self) -> None:
         """One on-demand recompute inside a lazy strategy's enumerate()."""
-        self.lazy_refreshes += 1
+        with self._lock:
+            self.lazy_refreshes += 1
+
+    def record_point_lookup(self, shards_probed: int = 1) -> None:
+        """One fully-prebound point lookup, probing that many shards."""
+        with self._lock:
+            self.point_lookups += 1
+            self.lookup_shards_probed += shards_probed
 
     def record_migration(self, moved: int, to_heavy: bool) -> None:
-        self.migrations += 1
-        self.tuples_migrated += moved
+        with self._lock:
+            self.migrations += 1
+            self.tuples_migrated += moved
 
     def record_repartition(self, threshold: float) -> None:
-        self.repartitions += 1
+        with self._lock:
+            self.repartitions += 1
 
     def record_ops(self, counts: dict[str, int] | Iterable[tuple[str, int]]) -> None:
         items = counts.items() if isinstance(counts, dict) else counts
-        for kind, amount in items:
-            self.ops[kind] = self.ops.get(kind, 0) + amount
+        with self._lock:
+            for kind, amount in items:
+                self.ops[kind] = self.ops.get(kind, 0) + amount
+
+    # ------------------------------------------------------------------
+    # Serving hooks (repro.serve)
+    # ------------------------------------------------------------------
+
+    def record_submit(self, count: int = 1) -> None:
+        """Updates accepted into the serving queue."""
+        with self._lock:
+            self.submits += count
+
+    def record_backpressure(self, seconds: float) -> None:
+        """One submit blocked at the high-water mark for ``seconds``."""
+        with self._lock:
+            self.backpressure_waits += 1
+            self.backpressure_wait.record(seconds)
+
+    def record_commit(
+        self,
+        seconds: float,
+        batch_size: int,
+        queue_depth: int,
+        trigger: str = "size",
+    ) -> None:
+        """One group commit: latency, batch size, queue depth at commit.
+
+        ``trigger`` names what fired the commit — ``"size"`` (the batch
+        reached the maximum size), ``"deadline"`` (the latency deadline
+        expired on a partial batch), or ``"drain"`` (a shutdown/drain
+        flush).
+        """
+        with self._lock:
+            self.commits += 1
+            if trigger == "deadline":
+                self.deadline_commits += 1
+            elif trigger == "drain":
+                self.drain_commits += 1
+            else:
+                self.size_commits += 1
+            self.commit_latency.record(seconds)
+            self.commit_batch_size.record(batch_size)
+            self.commit_queue_depth.record(queue_depth)
+
+    def record_serve_read(self, staleness_seconds: float) -> None:
+        """One lookup served between commits, with its read staleness.
+
+        Staleness is the age of the oldest update submitted but not yet
+        committed at the moment the read was served — 0 when the queue
+        was empty (the read saw a fully fresh view).
+        """
+        with self._lock:
+            self.serve_lookups += 1
+            self.read_staleness.record(staleness_seconds)
 
     # ------------------------------------------------------------------
     # Aggregation and export
@@ -300,6 +493,10 @@ class MaintenanceStats:
         Unlabelled merges behave as before (associative recorder
         composition) and carry any shard summaries of ``other`` along.
         """
+        with self._lock:
+            self._merge_locked(other, label)
+
+    def _merge_locked(self, other: "MaintenanceStats", label: str | None) -> None:
         if label is not None:
             self.shard_summaries[label] = {
                 "engine": other.engine,
@@ -322,6 +519,8 @@ class MaintenanceStats:
                 "enum_compiled": other.enum_compiled,
                 "enum_guard_probes": other.enum_guard_probes,
                 "lazy_refreshes": other.lazy_refreshes,
+                "point_lookups": other.point_lookups,
+                "lookup_shards_probed": other.lookup_shards_probed,
             }
             # Shard-level kernel work is real engine work; roll it
             # up into the coordinator totals like elementary ops.
@@ -332,6 +531,8 @@ class MaintenanceStats:
             self.enum_compiled += other.enum_compiled
             self.enum_guard_probes += other.enum_guard_probes
             self.lazy_refreshes += other.lazy_refreshes
+            self.point_lookups += other.point_lookups
+            self.lookup_shards_probed += other.lookup_shards_probed
             for view, stat in other.delta_sizes.items():
                 mine = self.delta_sizes.get(f"{label}/{view}")
                 if mine is None:
@@ -373,6 +574,20 @@ class MaintenanceStats:
         self.enum_compiled += other.enum_compiled
         self.enum_guard_probes += other.enum_guard_probes
         self.lazy_refreshes += other.lazy_refreshes
+        self.point_lookups += other.point_lookups
+        self.lookup_shards_probed += other.lookup_shards_probed
+        self.submits += other.submits
+        self.commits += other.commits
+        self.size_commits += other.size_commits
+        self.deadline_commits += other.deadline_commits
+        self.drain_commits += other.drain_commits
+        self.commit_latency.merge(other.commit_latency)
+        self.commit_batch_size.merge(other.commit_batch_size)
+        self.commit_queue_depth.merge(other.commit_queue_depth)
+        self.backpressure_waits += other.backpressure_waits
+        self.backpressure_wait.merge(other.backpressure_wait)
+        self.serve_lookups += other.serve_lookups
+        self.read_staleness.merge(other.read_staleness)
         self.record_ops(other.ops)
         for shard_label, summary in other.shard_summaries.items():
             mine = self.shard_summaries.get(shard_label)
@@ -419,6 +634,22 @@ class MaintenanceStats:
                 "compiled": self.enum_compiled,
                 "guard_probes": self.enum_guard_probes,
                 "lazy_refreshes": self.lazy_refreshes,
+                "point_lookups": self.point_lookups,
+                "lookup_shards_probed": self.lookup_shards_probed,
+            },
+            "serving": {
+                "submits": self.submits,
+                "commits": self.commits,
+                "size_commits": self.size_commits,
+                "deadline_commits": self.deadline_commits,
+                "drain_commits": self.drain_commits,
+                "commit_latency": self.commit_latency.to_dict(),
+                "batch_size": self.commit_batch_size.to_dict(),
+                "queue_depth": self.commit_queue_depth.to_dict(),
+                "backpressure_waits": self.backpressure_waits,
+                "backpressure_wait": self.backpressure_wait.to_dict(),
+                "lookups": self.serve_lookups,
+                "read_staleness": self.read_staleness.to_dict(),
             },
             "memory": {
                 "total_view_size": self.view_size.to_dict(),
@@ -465,6 +696,43 @@ class MaintenanceStats:
                 f"{self.enum_guard_probes} guard probes; "
                 f"{self.lazy_refreshes} lazy refreshes"
             )
+        if self.point_lookups:
+            lines.append(
+                f"point lookups: {self.point_lookups}  "
+                f"(shards probed: {self.lookup_shards_probed})"
+            )
+        if self.commits or self.submits:
+            lines.append(
+                f"serving: {self.submits} submits -> {self.commits} commits "
+                f"({self.size_commits} size / {self.deadline_commits} "
+                f"deadline / {self.drain_commits} drain)"
+            )
+            lines.append(
+                "  " + latency_line("commit latency", self.commit_latency)
+            )
+            if self.commit_batch_size.count:
+                lines.append(
+                    f"  batch size: mean={self.commit_batch_size.stat.mean:.3g}"
+                    f"  p50<={self.commit_batch_size.percentile(0.5):g}"
+                    f"  max={self.commit_batch_size.stat.maximum:g}"
+                    f"  queue depth p50<="
+                    f"{self.commit_queue_depth.percentile(0.5):g}"
+                    f"  max={self.commit_queue_depth.stat.maximum:g}"
+                )
+            if self.backpressure_waits:
+                lines.append(
+                    f"  backpressure: {self.backpressure_waits} blocked "
+                    f"submits, mean wait "
+                    f"{self.backpressure_wait.stat.mean:.3g}s"
+                )
+            if self.serve_lookups:
+                s = self.read_staleness
+                lines.append(
+                    f"  reads: {self.serve_lookups} lookups  "
+                    f"staleness mean={s.stat.mean:.3g}s  "
+                    f"p50<={s.percentile(0.5):.3g}s  "
+                    f"p99<={s.percentile(0.99):.3g}s"
+                )
         if self.delta_sizes:
             lines.append("delta sizes per view:")
             for view, stat in sorted(self.delta_sizes.items()):

@@ -1,0 +1,123 @@
+"""Bounded queue with adaptive group-commit batch sealing.
+
+:class:`GroupCommitQueue` is the ingestion buffer between concurrent
+asyncio writers and the single committer task of
+:class:`~repro.serve.server.AsyncIVMServer`.  Writers ``put`` updates
+(awaiting at the high-water mark — that wait *is* the backpressure
+signal); the committer calls :meth:`GroupCommitQueue.collect`, which
+seals a batch when it reaches ``max_batch`` updates **or** when the
+oldest queued update has waited ``max_delay`` seconds, whichever fires
+first.  The size trigger bounds per-commit work; the deadline trigger
+bounds read staleness under a trickle of writers.
+
+All coordination runs on one event loop, so the check-then-wait
+sequences below are race-free: no ``await`` sits between testing the
+deque and clearing the event that guards it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from typing import Any
+
+
+class QueueClosed(RuntimeError):
+    """Raised by ``put`` once the queue has been closed for shutdown."""
+
+
+class GroupCommitQueue:
+    """Bounded FIFO of ``(arrival, item)`` pairs with batch sealing.
+
+    ``high_water`` bounds the number of queued items; producers block in
+    :meth:`put` (and are told how long they waited) while the queue sits
+    at the mark.  :meth:`collect` is single-consumer.
+    """
+
+    def __init__(self, high_water: int = 4096):
+        if high_water < 1:
+            raise ValueError("high_water must be at least 1")
+        self.high_water = high_water
+        self.closed = False
+        self._items: deque[tuple[float, Any]] = deque()
+        self._not_empty = asyncio.Event()
+        self._not_full = asyncio.Event()
+        self._not_full.set()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def oldest_arrival(self) -> float | None:
+        """``perf_counter`` arrival of the oldest queued item, if any."""
+        return self._items[0][0] if self._items else None
+
+    def close(self) -> None:
+        """Refuse further ``put``s and wake every waiter.
+
+        Items already queued stay collectable: subsequent
+        :meth:`collect` calls drain them (trigger ``"drain"``) and then
+        return ``None``.
+        """
+        self.closed = True
+        self._not_empty.set()
+        self._not_full.set()
+
+    async def put(self, item: Any) -> float:
+        """Enqueue ``item``; return seconds spent blocked on backpressure."""
+        waited = 0.0
+        while len(self._items) >= self.high_water and not self.closed:
+            self._not_full.clear()
+            start = time.perf_counter()
+            await self._not_full.wait()
+            waited += time.perf_counter() - start
+        if self.closed:
+            raise QueueClosed("queue is closed")
+        self._items.append((time.perf_counter(), item))
+        self._not_empty.set()
+        return waited
+
+    async def collect(
+        self, max_batch: int, max_delay: float
+    ) -> tuple[list, str, int, float] | None:
+        """Seal and return the next group commit.
+
+        Returns ``(batch, trigger, depth, oldest_arrival)`` where
+        ``trigger`` is ``"size"`` / ``"deadline"`` / ``"drain"`` and
+        ``depth`` is the queue depth at seal time (the sealed batch plus
+        whatever is still waiting behind it) — or ``None`` once the
+        queue is closed and empty.
+        """
+        max_batch = max(max_batch, 1)
+        while not self._items:
+            if self.closed:
+                return None
+            self._not_empty.clear()
+            await self._not_empty.wait()
+        oldest = self._items[0][0]
+        deadline = oldest + max_delay
+        batch: list = []
+        while True:
+            while self._items and len(batch) < max_batch:
+                batch.append(self._items.popleft()[1])
+            if len(batch) >= max_batch:
+                trigger = "size"
+                break
+            if self.closed:
+                trigger = "drain"
+                break
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                trigger = "deadline"
+                break
+            self._not_empty.clear()
+            try:
+                await asyncio.wait_for(self._not_empty.wait(), remaining)
+            except asyncio.TimeoutError:
+                trigger = "deadline"
+                break
+        depth = len(batch) + len(self._items)
+        if len(self._items) < self.high_water:
+            self._not_full.set()
+        return batch, trigger, depth, oldest

@@ -1,0 +1,227 @@
+"""Closed-loop load generation for the serving front-end.
+
+Reuses the ``stats`` CLI's stream shapes — uniform / zipf value
+distributions and the sliding-window insert+delayed-delete pairing —
+but packaged as reusable generators so ``python -m repro serve``,
+``benchmarks/bench_serve.py``, and the test suite all drive the
+:class:`~repro.serve.server.AsyncIVMServer` through the same streams.
+
+Validity: each writer task draws from its **own** independent stream
+(seeded ``seed + writer_index``), so a delete always retracts a tuple
+its own writer inserted earlier.  Updates commute across writers (ring
+additions), so any interleaving the server commits is equivalent to some
+serial replay — the property the equivalence tests pin down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from collections import deque
+from typing import Any, Callable, Iterator
+
+from ..data.update import Update
+
+
+def value_sampler(
+    rng: random.Random, domain: int, workload: str, zipf_s: float = 1.2
+) -> Callable[[], int]:
+    """A ``() -> int`` attribute-value sampler for the chosen workload.
+
+    ``uniform`` draws each value with equal probability; ``zipf`` draws
+    value ``k`` with probability proportional to ``1/(k+1)**s``, so a
+    few hot join-key values dominate — the adversarial shape for hash
+    sharding (hot keys pile onto one shard) and for heavy/light
+    partitioning schemes.
+    """
+    if workload == "uniform":
+        return lambda: rng.randrange(domain)
+    if workload == "zipf":
+        import bisect
+        import itertools
+
+        weights = [1.0 / (k + 1) ** zipf_s for k in range(domain)]
+        cumulative = list(itertools.accumulate(weights))
+        total = cumulative[-1]
+
+        def sample() -> int:
+            return min(
+                bisect.bisect_left(cumulative, rng.random() * total),
+                domain - 1,
+            )
+
+        return sample
+    raise ValueError(f"unknown workload shape {workload!r}")
+
+
+def update_stream(
+    query,
+    updates: int,
+    *,
+    domain: int = 16,
+    seed: int = 0,
+    workload: str = "uniform",
+    zipf_s: float = 1.2,
+    window: int = 256,
+    deletes_ok: bool = True,
+) -> Iterator[Update]:
+    """Yield a valid ``updates``-long stream over the query's relations.
+
+    Deletes only retract still-live insertions from this same stream, so
+    multiplicities stay non-negative and enumeration stays sound.
+    ``sliding-window`` keeps a FIFO of the last ``window`` insertions
+    and emits the matching delete as each tuple falls out of the window.
+    """
+    rng = random.Random(seed)
+    value = value_sampler(
+        rng,
+        domain,
+        "uniform" if workload == "sliding-window" else workload,
+        zipf_s,
+    )
+    static_names = {atom.relation for atom in getattr(query, "static_atoms", ())}
+    arities: dict[str, int] = {}
+    dynamic: list[str] = []
+    for atom in query.atoms:
+        if atom.relation not in arities:
+            arities[atom.relation] = len(atom.variables)
+            if atom.relation not in static_names:
+                dynamic.append(atom.relation)
+    if not dynamic:
+        raise ValueError("query has no dynamic relations to stream into")
+
+    def random_key(relation: str) -> tuple:
+        return tuple(value() for _ in range(arities[relation]))
+
+    live: dict[str, list[tuple]] = {name: [] for name in dynamic}
+    fifo: deque[tuple[str, tuple]] = deque()
+    for _ in range(updates):
+        relation = dynamic[rng.randrange(len(dynamic))]
+        if workload == "sliding-window":
+            if len(fifo) >= max(window, 1):
+                relation, key = fifo.popleft()
+                yield Update(relation, key, -1)
+                continue
+            key = random_key(relation)
+            fifo.append((relation, key))
+            yield Update(relation, key, 1)
+            continue
+        keys = live[relation]
+        if deletes_ok and keys and rng.random() < 0.25:
+            key = keys.pop(rng.randrange(len(keys)))
+            yield Update(relation, key, -1)
+        else:
+            key = random_key(relation)
+            keys.append(key)
+            yield Update(relation, key, 1)
+
+
+async def run_load_test(
+    server,
+    query,
+    updates: int,
+    *,
+    writers: int = 4,
+    readers: int = 2,
+    domain: int = 16,
+    seed: int = 0,
+    workload: str = "uniform",
+    zipf_s: float = 1.2,
+    window: int = 256,
+    deletes_ok: bool = True,
+) -> dict[str, Any]:
+    """Drive ``server`` closed-loop and return a summary dict.
+
+    ``writers`` tasks split ``updates`` between them, each submitting
+    its own independently-seeded stream as fast as backpressure allows.
+    ``readers`` tasks run point lookups on random candidate keys until
+    the writers finish.  The returned summary reports the sustained
+    end-to-end rate (submit of first update to drain of last), the
+    maintenance-only rate (updates over summed commit time), and the
+    commit-latency / read-staleness percentiles from the recorder.
+    """
+    writers = max(int(writers), 1)
+    head = tuple(query.head)
+    key_rng = random.Random(seed ^ 0x5EED)
+    key_value = value_sampler(
+        key_rng,
+        domain,
+        "uniform" if workload == "sliding-window" else workload,
+        zipf_s,
+    )
+    per_writer = [updates // writers] * writers
+    per_writer[0] += updates - sum(per_writer)
+
+    async def write(index: int, count: int) -> None:
+        for update in update_stream(
+            query,
+            count,
+            domain=domain,
+            seed=seed + index,
+            workload=workload,
+            zipf_s=zipf_s,
+            window=window,
+            deletes_ok=deletes_ok,
+        ):
+            await server.submit(update)
+
+    done = asyncio.Event()
+    reads = 0
+
+    async def read() -> None:
+        nonlocal reads
+        while not done.is_set():
+            if head:
+                await server.lookup(tuple(key_value() for _ in head))
+            else:
+                await server.scalar()
+            reads += 1
+            await asyncio.sleep(0)
+
+    start = time.perf_counter()
+    reader_tasks = [
+        asyncio.get_running_loop().create_task(read())
+        for _ in range(max(int(readers), 0))
+    ]
+    try:
+        await asyncio.gather(
+            *(write(i, n) for i, n in enumerate(per_writer))
+        )
+        await server.drain()
+    finally:
+        done.set()
+        if reader_tasks:
+            await asyncio.gather(*reader_tasks, return_exceptions=True)
+    seconds = time.perf_counter() - start
+
+    stats = getattr(server, "stats", None)
+    summary: dict[str, Any] = {
+        "updates": updates,
+        "writers": writers,
+        "readers": readers,
+        "reads": reads,
+        "seconds": seconds,
+        "rate_end_to_end": updates / seconds if seconds > 0 else 0.0,
+    }
+    if stats is not None:
+        commit_seconds = stats.commit_latency.stat.total
+        summary.update(
+            {
+                "commits": stats.commits,
+                "size_commits": stats.size_commits,
+                "deadline_commits": stats.deadline_commits,
+                "drain_commits": stats.drain_commits,
+                "seconds_maintenance": commit_seconds,
+                "rate_maintenance": (
+                    updates / commit_seconds if commit_seconds > 0 else 0.0
+                ),
+                "commit_p50": stats.commit_latency.percentile(0.50),
+                "commit_p99": stats.commit_latency.percentile(0.99),
+                "mean_batch": stats.commit_batch_size.stat.mean,
+                "backpressure_waits": stats.backpressure_waits,
+                "staleness_p50": stats.read_staleness.percentile(0.50),
+                "staleness_p99": stats.read_staleness.percentile(0.99),
+            }
+        )
+    return summary

@@ -1,0 +1,230 @@
+"""The asyncio serving front-end: concurrent writers, group commits.
+
+:class:`AsyncIVMServer` wraps any engine exposing ``apply_batch`` (the
+:class:`~repro.core.engine.IVMEngine` facade or a backend directly).
+Concurrent writer tasks ``await server.submit(update)``; a single
+committer task seals adaptive group commits off a
+:class:`~repro.serve.batcher.GroupCommitQueue` and applies each batch on
+a worker thread so the event loop keeps accepting submissions and
+answering reads while maintenance runs.  Reads (``lookup`` /
+``enumerate`` / ``scalar``) serialize against commits through an asyncio
+lock, so they always observe fully committed state — and each lookup
+records its *staleness*: the age of the oldest update that had been
+submitted but not yet committed when the read was answered.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Iterable
+
+from ..obs import MaintenanceStats, Observable
+from ..obs.instrument import share_stats
+from .batcher import GroupCommitQueue
+
+
+class AsyncIVMServer(Observable):
+    """Async ingestion + point-read server over a maintenance engine.
+
+    Parameters
+    ----------
+    engine:
+        Anything with ``apply_batch(list[Update])``; ``lookup`` /
+        ``enumerate`` / ``scalar`` are used when present.
+    max_batch:
+        Size trigger — a commit seals as soon as this many updates are
+        pending.  ``1`` degenerates to per-update commits.
+    max_delay:
+        Latency trigger in seconds — a commit seals once its oldest
+        update has waited this long, even if the batch is short.
+    high_water:
+        Queue bound at which ``submit`` starts blocking (backpressure).
+
+    Use as an async context manager, or call :meth:`start` /
+    :meth:`stop` explicitly.  An exception raised by a commit is
+    captured and re-raised from the next ``submit`` / ``drain`` /
+    ``lookup`` / ``stop`` call.
+    """
+
+    def __init__(
+        self,
+        engine: Any,
+        *,
+        max_batch: int = 256,
+        max_delay: float = 0.002,
+        high_water: int = 4096,
+        stats: MaintenanceStats | None = None,
+    ):
+        self.engine = engine
+        self.max_batch = max(int(max_batch), 1)
+        self.max_delay = max(float(max_delay), 0.0)
+        self.queue = GroupCommitQueue(high_water)
+        self._commit_lock = asyncio.Lock()
+        self._inflight_oldest: float | None = None
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._committer: asyncio.Task | None = None
+        self._error: BaseException | None = None
+        self._closed = False
+        if stats is not None:
+            self.attach_stats(stats)
+
+    def _propagate_stats(self, stats: MaintenanceStats | None) -> None:
+        share_stats(self.engine, stats)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> "AsyncIVMServer":
+        """Spawn the committer task (idempotent)."""
+        if self._closed:
+            raise RuntimeError("server already stopped")
+        if self._committer is None:
+            self._committer = asyncio.get_running_loop().create_task(
+                self._commit_loop()
+            )
+        return self
+
+    async def stop(self) -> None:
+        """Drain the queue, commit everything, and stop the committer."""
+        if self._closed:
+            self._reraise()
+            return
+        self._closed = True
+        self.queue.close()
+        if self._committer is not None:
+            await self._committer
+            self._committer = None
+        self._idle.set()
+        self._reraise()
+
+    async def __aenter__(self) -> "AsyncIVMServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+
+    async def submit(self, update: Any) -> None:
+        """Enqueue one update; awaits while the queue is at high water."""
+        self._reraise()
+        if self._closed:
+            raise RuntimeError("server is stopped")
+        if self._committer is None:
+            raise RuntimeError("server not started (use `async with`)")
+        self._idle.clear()
+        waited = await self.queue.put(update)
+        stats = self._maintenance_stats
+        if stats is not None:
+            stats.record_submit()
+            if waited > 0.0:
+                stats.record_backpressure(waited)
+
+    async def submit_many(self, updates: Iterable[Any]) -> None:
+        for update in updates:
+            await self.submit(update)
+
+    async def drain(self) -> None:
+        """Wait until every submitted update has been committed."""
+        while True:
+            self._reraise()
+            if (
+                self._idle.is_set()
+                and not len(self.queue)
+                and self._inflight_oldest is None
+            ):
+                return
+            await self._idle.wait()
+            # The event alone is not authoritative (a submit may have
+            # raced in): yield once and re-check from the top.
+            await asyncio.sleep(0)
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+
+    async def lookup(self, key: tuple) -> Any:
+        """Point lookup against committed state, recording staleness."""
+        self._reraise()
+        async with self._commit_lock:
+            staleness = self._staleness()
+            result = self.engine.lookup(tuple(key))
+        stats = self._maintenance_stats
+        if stats is not None:
+            stats.record_serve_read(staleness)
+        return result
+
+    async def enumerate(self) -> list[tuple[tuple, Any]]:
+        """Materialize the committed output (serialized against commits)."""
+        self._reraise()
+        async with self._commit_lock:
+            return list(self.engine.enumerate())
+
+    async def scalar(self) -> Any:
+        """Committed payload of a Boolean (empty-head) query."""
+        self._reraise()
+        async with self._commit_lock:
+            return self.engine.scalar()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _reraise(self) -> None:
+        if self._error is not None:
+            error, self._error = self._error, None
+            raise error
+
+    def _staleness(self) -> float:
+        """Age of the oldest submitted-but-uncommitted update (seconds).
+
+        Called with the commit lock held, so no commit is in flight and
+        the only uncommitted updates are the queued ones.
+        """
+        oldest = self.queue.oldest_arrival
+        if self._inflight_oldest is not None:
+            oldest = (
+                self._inflight_oldest
+                if oldest is None
+                else min(oldest, self._inflight_oldest)
+            )
+        if oldest is None:
+            return 0.0
+        return max(0.0, time.perf_counter() - oldest)
+
+    async def _commit_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            sealed = await self.queue.collect(self.max_batch, self.max_delay)
+            if sealed is None:
+                return
+            batch, trigger, depth, oldest = sealed
+            if not batch:
+                continue
+            async with self._commit_lock:
+                self._inflight_oldest = oldest
+                start = time.perf_counter()
+                try:
+                    # A worker thread keeps the loop free for submits and
+                    # read scheduling — and exercises the recorder's
+                    # thread safety the same way executor shards do.
+                    await loop.run_in_executor(
+                        None, self.engine.apply_batch, batch
+                    )
+                except BaseException as exc:  # surfaced on next call
+                    self._error = exc
+                finally:
+                    elapsed = time.perf_counter() - start
+                    self._inflight_oldest = None
+                    stats = self._maintenance_stats
+                    if stats is not None:
+                        stats.record_commit(
+                            elapsed, len(batch), depth, trigger
+                        )
+            if not len(self.queue):
+                self._idle.set()

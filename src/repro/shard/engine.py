@@ -57,7 +57,12 @@ from ..query.ast import Query
 from ..query.variable_order import VariableOrder, order_for
 from ..rings.lifting import LiftingMap
 from ..viewtree.engine import ViewTreeEngine
-from .router import ShardLeafFilter, ShardRouter, choose_shard_variable
+from .router import (
+    ShardLeafFilter,
+    ShardRouter,
+    choose_shard_variable,
+    stable_hash,
+)
 
 _EXECUTORS = ("serial", "thread", "process")
 
@@ -314,6 +319,18 @@ class ShardedEngine(Observable):
 
         Every head variable arrives prebound, so each shard answers with
         O(1) guard probes along the free prefix — no full enumeration.
+        Two probe savers on top of that:
+
+        * a fully-prebound key identifies at most one output tuple per
+          shard, so each shard's iterator is abandoned on first match
+          instead of being drained to exhaustion;
+        * when the shard variable is itself a head variable (and the
+          query has partitioned leaves), the key value pins the one shard
+          that can own the tuple — the other shards are never probed.
+
+        ``point_lookups`` / ``lookup_shards_probed`` on an attached
+        recorder (plus the shards' ``enum_guard_probes``) make the saved
+        probes visible.
         """
         key = tuple(key)
         head = self.query.head
@@ -324,11 +341,28 @@ class ShardedEngine(Observable):
         if not head:
             return self.scalar()
         prebound = dict(zip(head, key))
+        engines = self.engines
+        if (
+            self.shards > 1
+            and self.shard_variable in prebound
+            and self.router.partitioned_relations()
+        ):
+            # A join-output tuple with shard-variable value v can only
+            # arise on the shard owning v (disjoint decomposition — see
+            # the module docstring), so the others cannot contribute.
+            owner = (
+                stable_hash(prebound[self.shard_variable]) % self.shards
+            )
+            engines = (self.engines[owner],)
         total = self.ring.zero
-        for engine in self.engines:
+        for engine in engines:
             for found, payload in engine.enumerate(prebound):
                 if found == key:
                     total = self.ring.add(total, payload)
+                    break
+        stats = self._maintenance_stats
+        if stats is not None:
+            stats.record_point_lookup(len(engines))
         return total
 
     def output_relation(self, name: str | None = None) -> Relation:

@@ -433,6 +433,32 @@ class ViewTreeEngine(Observable):
         stats = self._maintenance_stats
         return observed_enumeration(stats, self._enumerate(prebound, stats))
 
+    def lookup(self, key: tuple) -> Any:
+        """Payload of one output tuple (ring zero when absent).
+
+        Binds every head variable, so the enumeration degenerates into a
+        chain of guard probes — at most one candidate per depth — and the
+        iterator is abandoned after the first (unique) match.
+        """
+        key = tuple(key)
+        head = self.query.head
+        if len(key) != len(head):
+            raise ValueError(
+                f"lookup key {key!r} does not match head {head!r}"
+            )
+        if not head:
+            return self.scalar()
+        stats = self._maintenance_stats
+        prebound = dict(zip(head, key))
+        result = self.ring.zero
+        for found, payload in self._enumerate(prebound, stats):
+            if found == key:
+                result = payload
+                break
+        if stats is not None:
+            stats.record_point_lookup()
+        return result
+
     def _enumerate(
         self, prebound: dict[str, Any] | None = None, stats=None
     ) -> Iterator[tuple[tuple, Any]]:

@@ -1,0 +1,477 @@
+"""The async group-commit serving front-end (`repro.serve`)."""
+
+import asyncio
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.core.engine import IVMEngine
+from repro.data.database import Database
+from repro.obs import MaintenanceStats
+from repro.query.parser import parse_query
+from repro.serve import AsyncIVMServer, GroupCommitQueue, update_stream
+from repro.serve.batcher import QueueClosed
+
+
+def fresh_engine(text, shards=1):
+    query = parse_query(text)
+    db = Database()
+    for atom in query.atoms:
+        if atom.relation not in db:
+            db.create(atom.relation, atom.variables)
+    return query, IVMEngine(query, db, shards=shards)
+
+
+def close_backend(engine):
+    close = getattr(engine.backend, "close", None)
+    if close is not None:
+        close()
+
+
+# ----------------------------------------------------------------------
+# GroupCommitQueue
+# ----------------------------------------------------------------------
+
+
+class TestGroupCommitQueue:
+    def test_size_trigger(self):
+        async def run():
+            queue = GroupCommitQueue(high_water=64)
+            for i in range(10):
+                await queue.put(i)
+            batch, trigger, depth, _ = await queue.collect(4, 60.0)
+            assert batch == [0, 1, 2, 3]
+            assert trigger == "size"
+            assert depth == 10
+            return len(queue)
+
+        assert asyncio.run(run()) == 6
+
+    def test_deadline_trigger_flushes_partial_batch(self):
+        async def run():
+            queue = GroupCommitQueue(high_water=64)
+            await queue.put("only")
+            start = time.perf_counter()
+            batch, trigger, depth, _ = await queue.collect(1000, 0.01)
+            waited = time.perf_counter() - start
+            assert batch == ["only"]
+            assert trigger == "deadline"
+            assert depth == 1
+            assert waited < 5.0  # did not wait for 1000 items
+
+        asyncio.run(run())
+
+    def test_close_drains_then_signals_done(self):
+        async def run():
+            queue = GroupCommitQueue(high_water=64)
+            await queue.put("a")
+            await queue.put("b")
+            queue.close()
+            batch, trigger, _, _ = await queue.collect(1000, 60.0)
+            assert batch == ["a", "b"]
+            assert trigger == "drain"
+            assert await queue.collect(1000, 60.0) is None
+            with pytest.raises(QueueClosed):
+                await queue.put("c")
+
+        asyncio.run(run())
+
+    def test_put_blocks_at_high_water(self):
+        async def run():
+            queue = GroupCommitQueue(high_water=2)
+            await queue.put(1)
+            await queue.put(2)
+
+            async def producer():
+                return await queue.put(3)
+
+            task = asyncio.get_running_loop().create_task(producer())
+            await asyncio.sleep(0.01)
+            assert not task.done()  # blocked at the mark
+            assert len(queue) == 2
+            await queue.collect(2, 0.0)
+            waited = await task
+            assert waited > 0.0
+            assert len(queue) == 1
+
+        asyncio.run(run())
+
+
+# ----------------------------------------------------------------------
+# AsyncIVMServer
+# ----------------------------------------------------------------------
+
+
+EQUIVALENCE_QUERIES = [
+    ("Q(Y,X,Z) = R(Y,X) * S(Y,Z)", 1),
+    ("Q(A) = R(A,B) * S(B)", 1),
+    ("Q(B,A) = R(B,A) * S(B)", 3),  # sharded coordinator
+    ("Q() = R(A,B) * S(B,C) * T(C,A)", 1),  # delta/triangle scalar plan
+]
+
+
+class TestGroupCommitEquivalence:
+    @pytest.mark.parametrize("text,shards", EQUIVALENCE_QUERIES)
+    def test_concurrent_writers_match_serial_replay(self, text, shards):
+        """N concurrent writers through the server produce bit-identical
+        views to a serial ``apply_batch`` replay of the same updates."""
+        writers, per_writer, domain, seed = 4, 300, 8, 7
+        query, engine = fresh_engine(text, shards=shards)
+
+        async def run():
+            async with AsyncIVMServer(
+                engine, max_batch=32, max_delay=0.001, high_water=128
+            ) as server:
+                server.attach_stats()
+
+                async def write(index):
+                    for update in update_stream(
+                        query, per_writer, domain=domain, seed=seed + index
+                    ):
+                        await server.submit(update)
+
+                await asyncio.gather(*(write(i) for i in range(writers)))
+                await server.drain()
+                if query.head:
+                    return sorted(await server.enumerate())
+                return await server.scalar()
+
+        try:
+            served = asyncio.run(run())
+        finally:
+            close_backend(engine)
+
+        _, serial = fresh_engine(text, shards=1)
+        updates = []
+        for i in range(writers):
+            updates.extend(
+                update_stream(query, per_writer, domain=domain, seed=seed + i)
+            )
+        try:
+            serial.apply_batch(updates)
+            if query.head:
+                assert served == sorted(serial.enumerate())
+            else:
+                assert served == serial.scalar()
+        finally:
+            close_backend(serial)
+
+    def test_lookup_between_commits_sees_committed_state(self):
+        query, engine = fresh_engine("Q(A) = R(A,B) * S(B)")
+
+        async def run():
+            stats = MaintenanceStats()
+            async with AsyncIVMServer(
+                engine, max_batch=4, max_delay=0.0005, stats=stats
+            ) as server:
+                for update in update_stream(query, 200, domain=6, seed=3):
+                    await server.submit(update)
+                await server.drain()
+                hits = [await server.lookup((a,)) for a in range(6)]
+            expected = dict(engine.enumerate())
+            ring_zero = engine.database.ring.zero
+            for a, payload in enumerate(hits):
+                assert payload == expected.get((a,), ring_zero)
+            assert stats.serve_lookups == 6
+            assert stats.read_staleness.count == 6
+            return stats
+
+        stats = asyncio.run(run())
+        assert stats.submits == 200
+        assert stats.commits > 0
+        assert stats.commit_batch_size.count == stats.commits
+        assert stats.commit_queue_depth.count == stats.commits
+
+
+class TestBackpressure:
+    def test_submit_blocks_at_high_water(self):
+        """With a deliberately slow engine, the queue caps at the
+        high-water mark and submitters spend time blocked."""
+        query, engine = fresh_engine("Q(A) = R(A,B) * S(B)")
+        inner_apply = engine.apply_batch
+
+        def slow_apply(batch):
+            time.sleep(0.002)
+            inner_apply(batch)
+
+        engine.apply_batch = slow_apply
+        high_water = 8
+
+        async def run():
+            stats = MaintenanceStats()
+            async with AsyncIVMServer(
+                engine,
+                max_batch=4,
+                max_delay=0.0,
+                high_water=high_water,
+                stats=stats,
+            ) as server:
+                for update in update_stream(query, 120, domain=6, seed=1):
+                    await server.submit(update)
+                await server.drain()
+            return stats
+
+        stats = asyncio.run(run())
+        assert stats.backpressure_waits > 0
+        assert stats.backpressure_wait.stat.total > 0.0
+        # Depth at seal time never exceeds the mark.
+        assert stats.commit_queue_depth.stat.maximum <= high_water
+
+    def test_unthrottled_run_has_no_backpressure(self):
+        query, engine = fresh_engine("Q(A) = R(A,B) * S(B)")
+
+        async def run():
+            stats = MaintenanceStats()
+            async with AsyncIVMServer(
+                engine, max_batch=64, high_water=100_000, stats=stats
+            ) as server:
+                for update in update_stream(query, 100, domain=6, seed=2):
+                    await server.submit(update)
+                await server.drain()
+            return stats
+
+        assert asyncio.run(run()).backpressure_waits == 0
+
+
+class TestCommitTriggers:
+    def test_deadline_commits_flush_partial_batches(self):
+        query, engine = fresh_engine("Q(A) = R(A,B) * S(B)")
+
+        async def run():
+            stats = MaintenanceStats()
+            async with AsyncIVMServer(
+                engine, max_batch=10_000, max_delay=0.005, stats=stats
+            ) as server:
+                await server.submit(next(iter(update_stream(query, 1))))
+                await server.drain()  # only the deadline can flush this
+            return stats
+
+        stats = asyncio.run(run())
+        assert stats.deadline_commits >= 1
+        assert stats.size_commits == 0
+        assert stats.commits == stats.deadline_commits
+
+    def test_shutdown_drains_queue(self):
+        """stop() commits everything still queued, without waiting for
+        the (here: one minute) deadline."""
+        query, engine = fresh_engine("Q(A) = R(A,B) * S(B)")
+        updates = list(update_stream(query, 50, domain=6, seed=5))
+
+        async def run():
+            stats = MaintenanceStats()
+            server = AsyncIVMServer(
+                engine, max_batch=10_000, max_delay=60.0, stats=stats
+            )
+            await server.start()
+            for update in updates:
+                await server.submit(update)
+            start = time.perf_counter()
+            await server.stop()
+            assert time.perf_counter() - start < 30.0
+            return stats
+
+        stats = asyncio.run(run())
+        assert stats.drain_commits >= 1
+        assert stats.commit_batch_size.stat.total == 50
+        _, serial = fresh_engine("Q(A) = R(A,B) * S(B)")
+        serial.apply_batch(updates)
+        assert sorted(engine.enumerate()) == sorted(serial.enumerate())
+
+    def test_commit_error_surfaces_on_next_call(self):
+        query, engine = fresh_engine("Q(A) = R(A,B) * S(B)")
+
+        def boom(batch):
+            raise RuntimeError("kaboom")
+
+        engine.apply_batch = boom
+
+        async def run():
+            async with AsyncIVMServer(
+                engine, max_batch=1, max_delay=0.0
+            ) as server:
+                await server.submit(next(iter(update_stream(query, 1))))
+                with pytest.raises(RuntimeError, match="kaboom"):
+                    await server.drain()
+
+        asyncio.run(run())
+
+    def test_submit_after_stop_raises(self):
+        query, engine = fresh_engine("Q(A) = R(A,B) * S(B)")
+
+        async def run():
+            server = AsyncIVMServer(engine)
+            await server.start()
+            await server.stop()
+            with pytest.raises(RuntimeError):
+                await server.submit(next(iter(update_stream(query, 1))))
+
+        asyncio.run(run())
+
+
+class TestServingObservability:
+    def test_serving_block_in_obs_schema(self):
+        query, engine = fresh_engine("Q(A) = R(A,B) * S(B)")
+
+        async def run():
+            stats = MaintenanceStats()
+            async with AsyncIVMServer(
+                engine, max_batch=16, max_delay=0.001, stats=stats
+            ) as server:
+                for update in update_stream(query, 100, domain=6, seed=9):
+                    await server.submit(update)
+                await server.drain()
+                await server.lookup((0,))
+            return stats
+
+        stats = asyncio.run(run())
+        serving = stats.to_dict()["serving"]
+        assert serving["submits"] == 100
+        assert serving["commits"] >= 1
+        assert (
+            serving["size_commits"]
+            + serving["deadline_commits"]
+            + serving["drain_commits"]
+            == serving["commits"]
+        )
+        assert serving["commit_latency"]["count"] == serving["commits"]
+        assert serving["batch_size"]["buckets"]
+        assert serving["queue_depth"]["count"] == serving["commits"]
+        assert serving["lookups"] == 1
+        assert "read_staleness" in serving
+        assert "serving:" in stats.render()
+
+    def test_merge_accumulates_serving_metrics(self):
+        a, b = MaintenanceStats(), MaintenanceStats()
+        for stats in (a, b):
+            stats.record_submit(10)
+            stats.record_commit(0.001, 10, 12, "size")
+            stats.record_serve_read(0.0005)
+        a.merge(b)
+        assert a.submits == 20
+        assert a.commits == 2
+        assert a.commit_batch_size.stat.total == 20
+        assert a.serve_lookups == 2
+
+
+# ----------------------------------------------------------------------
+# Thread-safe recorder (satellite: stress test failing under old code)
+# ----------------------------------------------------------------------
+
+
+class TestRecorderThreadSafety:
+    def test_concurrent_recording_loses_no_updates(self):
+        """Hammer one recorder from many threads; every increment must
+        land.  Under the old unsynchronized recorder the read-modify-
+        write races (`self.ops[k] = self.ops.get(k, 0) + n`,
+        `self.updates += 1`) drop updates and this test fails."""
+        stats = MaintenanceStats()
+        threads, iterations = 16, 6000
+        old_interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-6)
+        try:
+            barrier = threading.Barrier(threads)
+
+            def hammer():
+                barrier.wait()
+                for _ in range(iterations):
+                    stats.record_ops({"probe": 1})
+                    stats.record_update(0.0, "apply")
+                    stats.record_point_lookup()
+
+            workers = [
+                threading.Thread(target=hammer) for _ in range(threads)
+            ]
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join()
+        finally:
+            sys.setswitchinterval(old_interval)
+        expected = threads * iterations
+        assert stats.ops["probe"] == expected
+        assert stats.updates == expected
+        assert stats.update_latency.count == expected
+        assert stats.point_lookups == expected
+
+    def test_threaded_commits_through_server_are_exact(self):
+        """The committer applies batches on a worker thread while the
+        event loop records submits — totals must still be exact."""
+        query, engine = fresh_engine("Q(B,A) = R(B,A) * S(B)", shards=2)
+
+        async def run():
+            stats = MaintenanceStats()
+            async with AsyncIVMServer(
+                engine, max_batch=8, max_delay=0.0005, stats=stats
+            ) as server:
+                for update in update_stream(query, 400, domain=8, seed=11):
+                    await server.submit(update)
+                await server.drain()
+            return stats
+
+        try:
+            stats = asyncio.run(run())
+        finally:
+            close_backend(engine)
+        assert stats.submits == 400
+        assert stats.commit_batch_size.stat.total == 400
+
+    def test_recorder_pickles_without_lock(self):
+        import pickle
+
+        stats = MaintenanceStats()
+        stats.record_submit(3)
+        clone = pickle.loads(pickle.dumps(stats))
+        assert clone.submits == 3
+        clone.record_submit(1)  # the rebuilt lock works
+        assert clone.submits == 4
+
+
+# ----------------------------------------------------------------------
+# Point lookups (satellite: sharded early-break + owner routing)
+# ----------------------------------------------------------------------
+
+
+class TestPointLookup:
+    def test_viewtree_lookup_matches_enumeration(self):
+        query, engine = fresh_engine("Q(Y,X,Z) = R(Y,X) * S(Y,Z)")
+        engine.apply_batch(
+            list(update_stream(query, 300, domain=6, seed=13))
+        )
+        expected = dict(engine.enumerate())
+        ring_zero = engine.database.ring.zero
+        for key, payload in list(expected.items())[:10]:
+            assert engine.lookup(key) == payload
+        assert engine.lookup((99, 99, 99)) == ring_zero
+        with pytest.raises(ValueError):
+            engine.lookup((1, 2))
+
+    def test_sharded_lookup_probes_one_shard(self):
+        """Owner routing + early break: a fully-prebound lookup probes
+        exactly one shard, and guard probes stay a small constant
+        instead of scaling with the shard count."""
+        shards = 4
+        query, engine = fresh_engine(
+            "Q(B,A) = R(B,A) * S(B)", shards=shards
+        )
+        stats = engine.attach_stats()
+        try:
+            engine.apply_batch(
+                list(update_stream(query, 400, domain=16, seed=17))
+            )
+            expected = dict(engine.enumerate())
+            assert expected  # the workload produced output tuples
+            for key, payload in list(expected.items())[:8]:
+                assert engine.lookup(key) == payload
+            merged = engine.backend.merged_stats()
+        finally:
+            close_backend(engine)
+        assert merged.point_lookups == 8
+        # One shard probed per lookup — not all four.
+        assert merged.lookup_shards_probed == 8
+        assert merged.lookup_shards_probed < shards * merged.point_lookups
+        assert "point lookups:" in merged.render()
+        enumeration = merged.to_dict()["enumeration"]
+        assert enumeration["point_lookups"] == 8
+        assert enumeration["lookup_shards_probed"] == 8
