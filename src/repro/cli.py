@@ -379,6 +379,7 @@ def run_serve(
     window: int = 256,
     per_update: bool = False,
     smoke: bool = False,
+    snapshot_reads: bool | None = None,
 ) -> int:
     """Closed-loop load test against the async serving front-end."""
     import asyncio
@@ -432,6 +433,7 @@ def run_serve(
         max_batch=max_batch,
         max_delay=max_delay_ms / 1000.0,
         high_water=high_water,
+        snapshot_reads=snapshot_reads,
     )
     stats = server.attach_stats()
 
@@ -469,10 +471,11 @@ def run_serve(
     elif workload == "sliding-window":
         shape = f" (window={window})"
     print(f"workload: {workload}{shape}")
+    reads_mode = "epoch snapshots" if server.snapshot_reads else "commit lock"
     print(
         f"serving:  {writers} writers + {readers} readers, "
         f"max_batch={max_batch} max_delay={max_delay_ms:g}ms "
-        f"high_water={high_water}"
+        f"high_water={high_water} reads={reads_mode}"
     )
     print()
     print(stats.render())
@@ -508,6 +511,7 @@ def run_serve(
                 "max_delay_ms": max_delay_ms,
                 "high_water": high_water,
                 "per_update": per_update,
+                "snapshot_reads": server.snapshot_reads,
                 **summary,
             },
         )
@@ -671,6 +675,11 @@ def main(argv: list[str] | None = None) -> int:
         "deadline) — the group-commit A/B baseline",
     )
     serve_parser.add_argument(
+        "--no-snapshot-reads", action="store_true",
+        help="serialize reads against commits instead of answering from "
+        "the last published epoch (the pre-epoch read model)",
+    )
+    serve_parser.add_argument(
         "--json", metavar="PATH", default=None,
         help="dump the recorder (with the serving block) as repro.obs/1 "
         "JSON",
@@ -754,6 +763,7 @@ def main(argv: list[str] | None = None) -> int:
             args.window,
             per_update=args.per_update,
             smoke=args.smoke,
+            snapshot_reads=False if args.no_snapshot_reads else None,
         )
     if args.command == "benchplot":
         from .bench.plot import benchplot

@@ -237,6 +237,51 @@ class IVMEngine(Observable):
                 return payload
         return ring.zero
 
+    # ------------------------------------------------------------------
+    # Epoch snapshot reads (backends that support them)
+    # ------------------------------------------------------------------
+
+    @property
+    def supports_snapshots(self) -> bool:
+        """Whether the selected backend exposes epoch snapshot reads."""
+        return bool(getattr(self._engine, "supports_snapshots", False))
+
+    def _snapshot_backend(self):
+        if not self.supports_snapshots:
+            raise TypeError(
+                f"plan {self.plan.strategy!r} does not support epoch "
+                "snapshot reads"
+            )
+        return self._engine
+
+    def publish_epoch(self):
+        """Publish the current committed state as the readable epoch."""
+        return self._snapshot_backend().publish_epoch()
+
+    def enumerate_snapshot(self) -> Iterator[tuple[tuple, Any]]:
+        """Enumerate the last published epoch (never blocks maintenance)."""
+        return self._snapshot_backend().enumerate_snapshot()
+
+    def scalar_snapshot(self) -> Any:
+        """Boolean-query payload of the last published epoch."""
+        return self._snapshot_backend().scalar_snapshot()
+
+    def lookup_snapshot(self, key: tuple) -> Any:
+        """Point lookup against the last published epoch."""
+        key = tuple(key)
+        head = self.query.head
+        if not head:
+            if key:
+                raise ValueError(
+                    f"lookup key {key!r} does not match empty head"
+                )
+            return self.scalar_snapshot()
+        if len(key) != len(head):
+            raise ValueError(
+                f"lookup key {key!r} does not match head {head!r}"
+            )
+        return self._snapshot_backend().lookup_snapshot(key)
+
     @property
     def backend(self):
         """The underlying specialised engine (for advanced use)."""

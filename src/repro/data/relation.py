@@ -31,32 +31,90 @@ class GroupIndex:
     engines between processes).
     """
 
-    __slots__ = ("group_vars", "_positions", "groups")
+    __slots__ = ("group_vars", "_positions", "groups", "_cow", "_owned", "_cow_copied")
 
     def __init__(self, schema: Schema, group_vars: tuple[str, ...]):
         self.group_vars = group_vars
         self._positions = schema.positions(group_vars)
         # group key -> dict used as an insertion-ordered set of full keys
         self.groups: dict[tuple, dict[tuple, None]] = {}
+        # Copy-on-write state for epoch snapshots (see share_version):
+        # _cow marks the whole ``groups`` dict as shared with a published
+        # snapshot; once privatized, _owned tracks which buckets have been
+        # copied (None = not in bucket-COW mode at all).
+        self._cow = False
+        self._owned: set | None = None
+        self._cow_copied = 0
 
     def _project(self, key: tuple) -> tuple:
         return tuple(key[i] for i in self._positions)
 
+    def share_version(self) -> tuple[dict, int]:
+        """Freeze ``groups`` for a snapshot; return ``(groups, buckets_copied)``.
+
+        After this call the returned mapping (and every bucket in it) is
+        never mutated in place: the next :meth:`add`/:meth:`remove` copies
+        the top-level dict, and each touched bucket is copied once before
+        its first post-publish write.  The counter reports buckets copied
+        since the previous call (copy-on-write cost of the closing epoch)
+        and resets.
+        """
+        copied = self._cow_copied
+        self._cow_copied = 0
+        self._cow = True
+        self._owned = None
+        return self.groups, copied
+
     def add(self, key: tuple) -> None:
         group_key = tuple(key[i] for i in self._positions)
-        bucket = self.groups.get(group_key)
+        if self._cow:
+            self.groups = dict(self.groups)
+            self._cow = False
+            self._owned = set()
+        groups = self.groups
+        owned = self._owned
+        bucket = groups.get(group_key)
         if bucket is None:
-            bucket = {}
-            self.groups[group_key] = bucket
+            groups[group_key] = {key: None}
+            if owned is not None:
+                owned.add(group_key)
+            return
+        if owned is not None and group_key not in owned:
+            bucket = dict(bucket)
+            groups[group_key] = bucket
+            owned.add(group_key)
+            self._cow_copied += 1
         bucket[key] = None
 
     def remove(self, key: tuple) -> None:
         group_key = tuple(key[i] for i in self._positions)
-        bucket = self.groups.get(group_key)
-        if bucket is not None:
-            bucket.pop(key, None)
-            if not bucket:
-                del self.groups[group_key]
+        if self._cow:
+            self.groups = dict(self.groups)
+            self._cow = False
+            self._owned = set()
+        groups = self.groups
+        bucket = groups.get(group_key)
+        if bucket is None:
+            return
+        owned = self._owned
+        if owned is not None and group_key not in owned:
+            bucket = dict(bucket)
+            groups[group_key] = bucket
+            owned.add(group_key)
+            self._cow_copied += 1
+        bucket.pop(key, None)
+        if not bucket:
+            del groups[group_key]
+            if owned is not None:
+                owned.discard(group_key)
+
+    def clear(self) -> None:
+        if self._cow:
+            self.groups = {}
+            self._cow = False
+            self._owned = set()
+        else:
+            self.groups.clear()
 
     def copy(self) -> "GroupIndex":
         """Structural copy sharing no mutable state with the original."""
@@ -66,6 +124,9 @@ class GroupIndex:
         clone.groups = {
             group_key: dict(bucket) for group_key, bucket in self.groups.items()
         }
+        clone._cow = False
+        clone._owned = None
+        clone._cow_copied = 0
         return clone
 
     def keys_in_group(self, group_key: tuple) -> Iterator[tuple]:
@@ -88,7 +149,7 @@ class GroupIndex:
 class Relation:
     """A finite map from key tuples to non-zero ring payloads."""
 
-    __slots__ = ("name", "schema", "ring", "data", "_indexes")
+    __slots__ = ("name", "schema", "ring", "data", "_indexes", "_cow", "_cow_copied")
 
     def __init__(
         self,
@@ -104,9 +165,48 @@ class Relation:
         self.ring = ring
         self.data: dict[tuple, Any] = {}
         self._indexes: dict[tuple[str, ...], GroupIndex] = {}
+        # Copy-on-write state for epoch snapshots: _cow marks ``data`` as
+        # shared with a published snapshot; the first mutation afterwards
+        # copies the dict (counted in _cow_copied) before writing.
+        self._cow = False
+        self._cow_copied = 0
         if data:
             for key, payload in data.items():
                 self.add(key, payload)
+
+    # ------------------------------------------------------------------
+    # Epoch snapshots (copy-on-write)
+    # ------------------------------------------------------------------
+
+    def _unshare(self) -> None:
+        """Privatize the payload dict before the first post-publish write."""
+        self.data = dict(self.data)
+        self._cow = False
+        self._cow_copied += 1
+
+    def share_version(self) -> tuple[dict, dict, int, int]:
+        """Freeze the current contents for an epoch snapshot.
+
+        Returns ``(data, groups, buckets_copied, tables_copied)``:
+        ``data`` is the live payload dict and ``groups`` maps each group
+        index's variables to its bucket dict.  After this call the
+        returned dicts are never mutated in place — the next write copies
+        the payload dict (and each touched index bucket) first — so any
+        holder of the returned references keeps seeing exactly the frozen
+        state, including insertion order.  The trailing counters report
+        copy-on-write work performed since the previous call (the cost of
+        the epoch that just closed) and reset.
+        """
+        tables_copied = self._cow_copied
+        self._cow_copied = 0
+        self._cow = True
+        groups: dict[tuple[str, ...], dict] = {}
+        buckets_copied = 0
+        for group_vars, index in self._indexes.items():
+            shared, copied = index.share_version()
+            groups[group_vars] = shared
+            buckets_copied += copied
+        return self.data, groups, buckets_copied, tables_copied
 
     # ------------------------------------------------------------------
     # Lookups and enumeration
@@ -151,6 +251,8 @@ class Relation:
         ring = self.ring
         if ring.is_zero(payload):
             return self.data.get(key, ring.zero)
+        if self._cow:
+            self._unshare()
         COUNTER.bump("write")
         old = self.data.get(key)
         if old is None:
@@ -186,6 +288,8 @@ class Relation:
         # one comparison instead of a Python call per entry.
         exact = ring.exact_zero
         zero = ring.zero
+        if self._cow:
+            self._unshare()
         data = self.data
         indexes = list(self._indexes.values()) if self._indexes else None
         writes = 0
@@ -221,11 +325,15 @@ class Relation:
         present = key in self.data
         if self.ring.is_zero(payload):
             if present:
+                if self._cow:
+                    self._unshare()
                 COUNTER.bump("write")
                 del self.data[key]
                 for index in self._indexes.values():
                     index.remove(key)
             return
+        if self._cow:
+            self._unshare()
         COUNTER.bump("write")
         self.data[key] = payload
         if not present:
@@ -253,9 +361,13 @@ class Relation:
             self.add(key, payload)
 
     def clear(self) -> None:
-        self.data.clear()
+        if self._cow:
+            self.data = {}
+            self._cow = False
+        else:
+            self.data.clear()
         for index in self._indexes.values():
-            index.groups.clear()
+            index.clear()
 
     # ------------------------------------------------------------------
     # Indexing

@@ -61,6 +61,10 @@ _SUMMARY_COUNT_KEYS = frozenset(
         "lazy_refreshes",
         "point_lookups",
         "lookup_shards_probed",
+        "epochs_published",
+        "cow_buckets_copied",
+        "cow_tables_copied",
+        "snapshot_reads",
     }
 )
 
@@ -296,6 +300,18 @@ class MaintenanceStats:
         self.backpressure_wait = LatencyHistogram()
         self.serve_lookups = 0
         self.read_staleness = LatencyHistogram()
+        #: Commits that raised out of the engine: counted apart so the
+        #: commit latency/batch-size histograms hold successes only.
+        self.commit_errors = 0
+        #: Epoch snapshot accounting (repro.viewtree.epoch): epochs
+        #: published, snapshot-mode reads served with their end-to-end
+        #: latency (the read-tail histogram), and copy-on-write work the
+        #: write path paid for snapshot isolation.
+        self.epochs_published = 0
+        self.snapshot_reads = 0
+        self.snapshot_read_latency = LatencyHistogram()
+        self.cow_buckets_copied = 0
+        self.cow_tables_copied = 0
         #: Per-shard summaries recorded by labelled merges (sharded runs).
         self.shard_summaries: dict[str, dict] = {}
         # Recorders may be shared across threads (thread-pool shards,
@@ -468,11 +484,38 @@ class MaintenanceStats:
 
         Staleness is the age of the oldest update submitted but not yet
         committed at the moment the read was served — 0 when the queue
-        was empty (the read saw a fully fresh view).
+        was empty (the read saw a fully fresh view).  In snapshot-read
+        mode this is the published epoch's age relative to the stream:
+        how long the oldest update invisible to the epoch has waited.
         """
         with self._lock:
             self.serve_lookups += 1
             self.read_staleness.record(staleness_seconds)
+
+    def record_commit_error(self) -> None:
+        """One group commit that raised out of the engine.
+
+        Failed commits are excluded from ``commits`` and from the
+        latency/batch-size/queue-depth histograms so serving percentiles
+        describe successful work only.
+        """
+        with self._lock:
+            self.commit_errors += 1
+
+    def record_epoch_publish(
+        self, buckets_copied: int = 0, tables_copied: int = 0
+    ) -> None:
+        """One epoch publish, with the copy-on-write work it closed over."""
+        with self._lock:
+            self.epochs_published += 1
+            self.cow_buckets_copied += buckets_copied
+            self.cow_tables_copied += tables_copied
+
+    def record_snapshot_read(self, seconds: float) -> None:
+        """One snapshot-mode read with its end-to-end latency."""
+        with self._lock:
+            self.snapshot_reads += 1
+            self.snapshot_read_latency.record(seconds)
 
     # ------------------------------------------------------------------
     # Aggregation and export
@@ -521,6 +564,10 @@ class MaintenanceStats:
                 "lazy_refreshes": other.lazy_refreshes,
                 "point_lookups": other.point_lookups,
                 "lookup_shards_probed": other.lookup_shards_probed,
+                "epochs_published": other.epochs_published,
+                "cow_buckets_copied": other.cow_buckets_copied,
+                "cow_tables_copied": other.cow_tables_copied,
+                "snapshot_reads": other.snapshot_reads,
             }
             # Shard-level kernel work is real engine work; roll it
             # up into the coordinator totals like elementary ops.
@@ -533,6 +580,11 @@ class MaintenanceStats:
             self.lazy_refreshes += other.lazy_refreshes
             self.point_lookups += other.point_lookups
             self.lookup_shards_probed += other.lookup_shards_probed
+            self.epochs_published += other.epochs_published
+            self.cow_buckets_copied += other.cow_buckets_copied
+            self.cow_tables_copied += other.cow_tables_copied
+            self.snapshot_reads += other.snapshot_reads
+            self.snapshot_read_latency.merge(other.snapshot_read_latency)
             for view, stat in other.delta_sizes.items():
                 mine = self.delta_sizes.get(f"{label}/{view}")
                 if mine is None:
@@ -588,6 +640,12 @@ class MaintenanceStats:
         self.backpressure_wait.merge(other.backpressure_wait)
         self.serve_lookups += other.serve_lookups
         self.read_staleness.merge(other.read_staleness)
+        self.commit_errors += other.commit_errors
+        self.epochs_published += other.epochs_published
+        self.snapshot_reads += other.snapshot_reads
+        self.snapshot_read_latency.merge(other.snapshot_read_latency)
+        self.cow_buckets_copied += other.cow_buckets_copied
+        self.cow_tables_copied += other.cow_tables_copied
         self.record_ops(other.ops)
         for shard_label, summary in other.shard_summaries.items():
             mine = self.shard_summaries.get(shard_label)
@@ -650,6 +708,14 @@ class MaintenanceStats:
                 "backpressure_wait": self.backpressure_wait.to_dict(),
                 "lookups": self.serve_lookups,
                 "read_staleness": self.read_staleness.to_dict(),
+                "commit_errors": self.commit_errors,
+            },
+            "epochs": {
+                "published": self.epochs_published,
+                "snapshot_reads": self.snapshot_reads,
+                "read_latency": self.snapshot_read_latency.to_dict(),
+                "cow_buckets_copied": self.cow_buckets_copied,
+                "cow_tables_copied": self.cow_tables_copied,
             },
             "memory": {
                 "total_view_size": self.view_size.to_dict(),
@@ -701,11 +767,14 @@ class MaintenanceStats:
                 f"point lookups: {self.point_lookups}  "
                 f"(shards probed: {self.lookup_shards_probed})"
             )
-        if self.commits or self.submits:
+        if self.commits or self.submits or self.commit_errors:
+            errors = (
+                f", {self.commit_errors} failed" if self.commit_errors else ""
+            )
             lines.append(
                 f"serving: {self.submits} submits -> {self.commits} commits "
                 f"({self.size_commits} size / {self.deadline_commits} "
-                f"deadline / {self.drain_commits} drain)"
+                f"deadline / {self.drain_commits} drain{errors})"
             )
             lines.append(
                 "  " + latency_line("commit latency", self.commit_latency)
@@ -732,6 +801,19 @@ class MaintenanceStats:
                     f"staleness mean={s.stat.mean:.3g}s  "
                     f"p50<={s.percentile(0.5):.3g}s  "
                     f"p99<={s.percentile(0.99):.3g}s"
+                )
+        if self.epochs_published or self.snapshot_reads:
+            lines.append(
+                f"epochs: {self.epochs_published} published  "
+                f"snapshot reads: {self.snapshot_reads}  "
+                f"cow: {self.cow_buckets_copied} buckets / "
+                f"{self.cow_tables_copied} tables copied"
+            )
+            if self.snapshot_reads:
+                lines.append(
+                    "  " + latency_line(
+                        "snapshot read", self.snapshot_read_latency
+                    )
                 )
         if self.delta_sizes:
             lines.append("delta sizes per view:")

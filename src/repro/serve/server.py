@@ -6,11 +6,19 @@ Concurrent writer tasks ``await server.submit(update)``; a single
 committer task seals adaptive group commits off a
 :class:`~repro.serve.batcher.GroupCommitQueue` and applies each batch on
 a worker thread so the event loop keeps accepting submissions and
-answering reads while maintenance runs.  Reads (``lookup`` /
-``enumerate`` / ``scalar``) serialize against commits through an asyncio
-lock, so they always observe fully committed state — and each lookup
+answering reads while maintenance runs.
+
+Two read models are offered.  With **snapshot reads** (the default on
+engines that support epoch snapshots), each commit publishes a new
+epoch after it applies, and ``lookup`` / ``enumerate`` / ``scalar``
+answer from the last *published* epoch without ever touching the
+commit lock — readers never block commits and commits never block
+readers.  On engines without snapshot support, reads serialize against
+commits through an asyncio lock as before.  Either way each lookup
 records its *staleness*: the age of the oldest update that had been
-submitted but not yet committed when the read was answered.
+submitted but not yet visible to the read (under snapshot reads this
+is the age of the published epoch's missing suffix — queued updates
+plus the batch currently committing).
 """
 
 from __future__ import annotations
@@ -21,7 +29,7 @@ from typing import Any, Iterable
 
 from ..obs import MaintenanceStats, Observable
 from ..obs.instrument import share_stats
-from .batcher import GroupCommitQueue
+from .batcher import GroupCommitQueue, QueueClosed
 
 
 class AsyncIVMServer(Observable):
@@ -40,6 +48,11 @@ class AsyncIVMServer(Observable):
         update has waited this long, even if the batch is short.
     high_water:
         Queue bound at which ``submit`` starts blocking (backpressure).
+    snapshot_reads:
+        ``True`` forces epoch snapshot reads (``ValueError`` if the
+        engine does not support them), ``False`` forces lock-serialized
+        reads, and ``None`` (default) auto-enables snapshot reads when
+        the engine advertises ``supports_snapshots``.
 
     Use as an async context manager, or call :meth:`start` /
     :meth:`stop` explicitly.  An exception raised by a commit is
@@ -54,11 +67,21 @@ class AsyncIVMServer(Observable):
         max_batch: int = 256,
         max_delay: float = 0.002,
         high_water: int = 4096,
+        snapshot_reads: bool | None = None,
         stats: MaintenanceStats | None = None,
     ):
         self.engine = engine
         self.max_batch = max(int(max_batch), 1)
         self.max_delay = max(float(max_delay), 0.0)
+        supported = bool(getattr(engine, "supports_snapshots", False))
+        if snapshot_reads and not supported:
+            raise ValueError(
+                "snapshot_reads=True but the engine does not support "
+                "epoch snapshots"
+            )
+        self.snapshot_reads = supported if snapshot_reads is None else bool(
+            snapshot_reads
+        )
         self.queue = GroupCommitQueue(high_water)
         self._commit_lock = asyncio.Lock()
         self._inflight_oldest: float | None = None
@@ -82,6 +105,10 @@ class AsyncIVMServer(Observable):
         if self._closed:
             raise RuntimeError("server already stopped")
         if self._committer is None:
+            if self.snapshot_reads:
+                # Publish the pre-ingestion state so reads served before
+                # the first commit already see a consistent epoch.
+                self.engine.publish_epoch()
             self._committer = asyncio.get_running_loop().create_task(
                 self._commit_loop()
             )
@@ -118,7 +145,14 @@ class AsyncIVMServer(Observable):
         if self._committer is None:
             raise RuntimeError("server not started (use `async with`)")
         self._idle.clear()
-        waited = await self.queue.put(update)
+        try:
+            waited = await self.queue.put(update)
+        except QueueClosed:
+            # stop() closed the queue while this submit was blocked on
+            # backpressure: the update was NOT accepted and will not be
+            # committed.  Surface that as the same documented error a
+            # post-stop submit gets, not the queue's internal exception.
+            raise RuntimeError("server is stopped") from None
         stats = self._maintenance_stats
         if stats is not None:
             stats.record_submit()
@@ -134,23 +168,41 @@ class AsyncIVMServer(Observable):
         while True:
             self._reraise()
             if (
-                self._idle.is_set()
-                and not len(self.queue)
+                not len(self.queue)
                 and self._inflight_oldest is None
+                and self._idle.is_set()
             ):
                 return
+            # The event alone is not authoritative (a commit may still
+            # be in flight, or a submit may have raced in after the
+            # committer set it).  Clear it *before* parking so a stale
+            # set-state cannot turn the wait into a hot spin; the
+            # committer sets it again once it really goes idle.
+            self._idle.clear()
             await self._idle.wait()
-            # The event alone is not authoritative (a submit may have
-            # raced in): yield once and re-check from the top.
-            await asyncio.sleep(0)
 
     # ------------------------------------------------------------------
     # Read path
     # ------------------------------------------------------------------
 
     async def lookup(self, key: tuple) -> Any:
-        """Point lookup against committed state, recording staleness."""
+        """Point lookup against committed state, recording staleness.
+
+        Under snapshot reads this answers from the last published epoch
+        without taking the commit lock, so it never waits for an
+        in-flight commit; staleness then measures the epoch's age (the
+        oldest update the epoch is missing).
+        """
         self._reraise()
+        if self.snapshot_reads:
+            start = time.perf_counter()
+            staleness = self._staleness()
+            result = self.engine.lookup_snapshot(tuple(key))
+            stats = self._maintenance_stats
+            if stats is not None:
+                stats.record_serve_read(staleness)
+                stats.record_snapshot_read(time.perf_counter() - start)
+            return result
         async with self._commit_lock:
             staleness = self._staleness()
             result = self.engine.lookup(tuple(key))
@@ -160,14 +212,32 @@ class AsyncIVMServer(Observable):
         return result
 
     async def enumerate(self) -> list[tuple[tuple, Any]]:
-        """Materialize the committed output (serialized against commits)."""
+        """Materialize the committed output.
+
+        Snapshot reads enumerate the last published epoch lock-free;
+        otherwise the enumeration serializes against commits.
+        """
         self._reraise()
+        if self.snapshot_reads:
+            start = time.perf_counter()
+            result = list(self.engine.enumerate_snapshot())
+            stats = self._maintenance_stats
+            if stats is not None:
+                stats.record_snapshot_read(time.perf_counter() - start)
+            return result
         async with self._commit_lock:
             return list(self.engine.enumerate())
 
     async def scalar(self) -> Any:
         """Committed payload of a Boolean (empty-head) query."""
         self._reraise()
+        if self.snapshot_reads:
+            start = time.perf_counter()
+            result = self.engine.scalar_snapshot()
+            stats = self._maintenance_stats
+            if stats is not None:
+                stats.record_snapshot_read(time.perf_counter() - start)
+            return result
         async with self._commit_lock:
             return self.engine.scalar()
 
@@ -181,10 +251,14 @@ class AsyncIVMServer(Observable):
             raise error
 
     def _staleness(self) -> float:
-        """Age of the oldest submitted-but-uncommitted update (seconds).
+        """Age of the oldest update not visible to a read now (seconds).
 
-        Called with the commit lock held, so no commit is in flight and
-        the only uncommitted updates are the queued ones.
+        Under lock-serialized reads this is called with the commit lock
+        held, so no commit is in flight and the only invisible updates
+        are the queued ones.  Under snapshot reads it also counts the
+        batch currently committing (``_inflight_oldest``), which the
+        published epoch does not include yet — both fields only mutate
+        on the event-loop thread, so no lock is needed.
         """
         oldest = self.queue.oldest_arrival
         if self._inflight_oldest is not None:
@@ -196,6 +270,17 @@ class AsyncIVMServer(Observable):
         if oldest is None:
             return 0.0
         return max(0.0, time.perf_counter() - oldest)
+
+    def _commit_batch(self, batch: list) -> None:
+        """Apply one sealed batch (runs on the committer's worker thread).
+
+        Under snapshot reads the new epoch is published right after the
+        batch lands; a failed batch publishes nothing, so readers keep
+        answering from the last good epoch.
+        """
+        self.engine.apply_batch(batch)
+        if self.snapshot_reads:
+            self.engine.publish_epoch()
 
     async def _commit_loop(self) -> None:
         loop = asyncio.get_running_loop()
@@ -214,17 +299,25 @@ class AsyncIVMServer(Observable):
                     # read scheduling — and exercises the recorder's
                     # thread safety the same way executor shards do.
                     await loop.run_in_executor(
-                        None, self.engine.apply_batch, batch
+                        None, self._commit_batch, batch
                     )
                 except BaseException as exc:  # surfaced on next call
                     self._error = exc
-                finally:
+                    stats = self._maintenance_stats
+                    if stats is not None:
+                        # A failed commit applied nothing: count it
+                        # apart, and keep it out of the commit-latency
+                        # and batch-size distributions so the
+                        # percentiles only describe real commits.
+                        stats.record_commit_error()
+                else:
                     elapsed = time.perf_counter() - start
-                    self._inflight_oldest = None
                     stats = self._maintenance_stats
                     if stats is not None:
                         stats.record_commit(
                             elapsed, len(batch), depth, trigger
                         )
+                finally:
+                    self._inflight_oldest = None
             if not len(self.queue):
                 self._idle.set()

@@ -76,6 +76,10 @@ def _apply_shard_batch(engine: ViewTreeEngine, batch, rebuild_factor):
 class ShardedEngine(Observable):
     """Hash-sharded parallel maintenance over per-shard view trees."""
 
+    #: Coordinator exposes publish_epoch / *_snapshot reads (feature
+    #: probe for the serving tier's snapshot-read mode).
+    supports_snapshots: bool = True
+
     def __init__(
         self,
         query: Query,
@@ -136,6 +140,11 @@ class ShardedEngine(Observable):
         #: their per-shard views are disjoint slices (ring-add to merge),
         #: all other views are identical replicas (take any one copy).
         self._partitioned_variables = self._find_partitioned_variables()
+        #: Last published coordinator epoch: a tuple of (shard engine,
+        #: shard EpochSnapshot) pairs, swapped in one assignment so
+        #: merged snapshot reads are cross-shard consistent.
+        self.epoch = 0
+        self._epoch_snapshot: tuple | None = None
 
     # ------------------------------------------------------------------
     # Executor plumbing
@@ -313,6 +322,114 @@ class ShardedEngine(Observable):
             for key, payload in entries:
                 out.add(key, payload)
         return out
+
+    # ------------------------------------------------------------------
+    # Epoch snapshots (cross-shard consistent)
+    # ------------------------------------------------------------------
+
+    def publish_epoch(self, record: bool = True) -> tuple:
+        """Publish every shard's epoch together as one coordinator epoch.
+
+        Called between batches (all shards at the same committed prefix),
+        so the per-shard snapshots are mutually consistent; the single
+        tuple assignment makes the combined publish atomic for readers.
+        Each element pairs the shard engine with its snapshot — pairing
+        them here (rather than zipping against ``self.engines`` at read
+        time) keeps snapshot reads correct when the process executor
+        adopts replacement engines mid-read.
+        """
+        pairs = tuple(
+            (engine, engine.publish_epoch(record=False))
+            for engine in self.engines
+        )
+        self.epoch += 1
+        self._epoch_snapshot = pairs
+        if record:
+            stats = self._maintenance_stats
+            if stats is not None:
+                stats.record_epoch_publish(
+                    sum(snap.cow_buckets for _, snap in pairs),
+                    sum(snap.cow_tables for _, snap in pairs),
+                )
+        return pairs
+
+    def _snapshot_pairs(self) -> tuple:
+        pairs = self._epoch_snapshot
+        if pairs is None:
+            pairs = self.publish_epoch()
+        return pairs
+
+    def scalar_snapshot(self, pairs: tuple | None = None) -> Any:
+        """:meth:`scalar` against the published epoch."""
+        if pairs is None:
+            pairs = self._snapshot_pairs()
+        total = self.ring.zero
+        for engine, snap in pairs:
+            total = self.ring.add(total, engine.scalar_snapshot(snap))
+        return total
+
+    def enumerate_snapshot(
+        self, prebound: dict[str, Any] | None = None
+    ) -> Iterator[tuple[tuple, Any]]:
+        """Merged :meth:`enumerate` against the published epoch.
+
+        Safe to drive from any thread while shard maintenance runs: each
+        shard is drained through its frozen snapshot and the union is
+        materialized into a fresh thread-local relation.
+        """
+        pairs = self._snapshot_pairs()
+        return observed_enumeration(
+            self._maintenance_stats,
+            self._enumerate_merged_snapshot(prebound, pairs),
+        )
+
+    def _enumerate_merged_snapshot(
+        self, prebound: dict[str, Any] | None, pairs: tuple
+    ) -> Iterator[tuple[tuple, Any]]:
+        if not self.query.head:
+            payload = self.scalar_snapshot(pairs)
+            if not self.ring.is_zero(payload):
+                yield (), payload
+            return
+        out = Relation(
+            f"{self.query.name}_merged", Schema(self.query.head), self.ring
+        )
+        for engine, snap in pairs:
+            for key, payload in engine._enumerate(prebound, None, epoch=snap):
+                out.add(key, payload)
+        yield from out.data.items()
+
+    def lookup_snapshot(self, key: tuple) -> Any:
+        """:meth:`lookup` against the published epoch (same probe savers)."""
+        pairs = self._snapshot_pairs()
+        key = tuple(key)
+        head = self.query.head
+        if len(key) != len(head):
+            raise ValueError(
+                f"lookup key {key!r} does not match head {head!r}"
+            )
+        if not head:
+            return self.scalar_snapshot(pairs)
+        prebound = dict(zip(head, key))
+        if (
+            self.shards > 1
+            and self.shard_variable in prebound
+            and self.router.partitioned_relations()
+        ):
+            owner = (
+                stable_hash(prebound[self.shard_variable]) % self.shards
+            )
+            pairs = (pairs[owner],)
+        total = self.ring.zero
+        for engine, snap in pairs:
+            for found, payload in engine._enumerate(prebound, None, epoch=snap):
+                if found == key:
+                    total = self.ring.add(total, payload)
+                    break
+        stats = self._maintenance_stats
+        if stats is not None:
+            stats.record_point_lookup(len(pairs))
+        return total
 
     def lookup(self, key: tuple) -> Any:
         """Merged payload of one output tuple (ring zero when absent).

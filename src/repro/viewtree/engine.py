@@ -42,6 +42,7 @@ from ..query.variable_order import VariableOrder, VarOrderNode, order_for
 from ..rings.lifting import LiftingMap
 from .compile import DeltaPlan, compile_delta_plans
 from .enumplan import EnumPlan, _flatten, compile_enum_plan
+from .epoch import EpochSnapshot
 
 
 class ViewNode:
@@ -112,6 +113,10 @@ class ViewTreeEngine(Observable):
     #: compiled path wins on plain call overhead.
     batch_compile_threshold: int = 2
 
+    #: Engines exposing publish_epoch / *_snapshot reads (feature probe
+    #: for the serving tier's snapshot-read mode).
+    supports_snapshots: bool = True
+
     def __init__(
         self,
         query: Query,
@@ -181,9 +186,20 @@ class ViewTreeEngine(Observable):
         self.enum_compiled = self._enum_plan is not None
         #: Lazily-built flat schedule for the generic fallback walk.
         self._enum_schedule: list | None = None
+        #: Last published epoch number and its frozen snapshot.
+        self.epoch = 0
+        self._epoch_snapshot: EpochSnapshot | None = None
         self._updates_since_sample = 0
         if stats is not None:
             self.attach_stats(stats)
+
+    def __getstate__(self):
+        # Epoch snapshots are keyed by object identity, which does not
+        # survive pickling (process-pool shards ship whole engines);
+        # the receiving side republishes after adoption.
+        state = self.__dict__.copy()
+        state["_epoch_snapshot"] = None
+        return state
 
     # ------------------------------------------------------------------
     # Construction
@@ -413,6 +429,116 @@ class ViewTreeEngine(Observable):
             node = node.parent
 
     # ------------------------------------------------------------------
+    # Epoch snapshots
+    # ------------------------------------------------------------------
+
+    def _snapshot_relations(self) -> Iterator[Relation]:
+        """Every relation a read path can touch: views, guards, leaves."""
+        for root in self.roots:
+            for node in root.walk():
+                yield node.view
+                if node.guard is not None:
+                    yield node.guard
+                for _, leaf in node.leaves:
+                    yield leaf
+
+    def publish_epoch(self, record: bool = True) -> EpochSnapshot:
+        """Freeze the current committed state as the next readable epoch.
+
+        Readers started after this call (``enumerate_snapshot``,
+        ``lookup_snapshot``, ``scalar_snapshot``) see exactly this state
+        — bit-identical to a serialized read at this instant — no matter
+        how maintenance mutates the live relations afterwards.  The swap
+        is a single attribute assignment, atomic under the GIL, so a
+        publish never blocks readers and readers never block maintenance;
+        the cost is deferred to copy-on-write work on the write path.
+
+        ``record`` feeds the attached recorder (``epochs_published``,
+        ``cow_buckets_copied``); a shard coordinator passes ``False`` and
+        records one aggregate publish itself.
+        """
+        if self._enum_plan is None and self.query.head and self.order.is_free_top():
+            # The generic walk builds guard group-indexes lazily on first
+            # enumeration; force them into existence so the snapshot
+            # captures them (the snapshot path never mutates the engine).
+            schedule = self._enum_schedule
+            if schedule is None:
+                schedule = self._enum_schedule = self._enum_schedule_specs()
+            for spec in schedule:
+                if spec[0]:
+                    spec[2].index_on(spec[3])
+        self.epoch += 1
+        snap = EpochSnapshot.capture(self.epoch, self._snapshot_relations())
+        self._epoch_snapshot = snap
+        if record:
+            stats = self._maintenance_stats
+            if stats is not None:
+                stats.record_epoch_publish(snap.cow_buckets, snap.cow_tables)
+        return snap
+
+    def snapshot(self) -> EpochSnapshot:
+        """The last published epoch (publishing one first if none exists)."""
+        snap = self._epoch_snapshot
+        if snap is None:
+            snap = self.publish_epoch()
+        return snap
+
+    def scalar_snapshot(self, snap: EpochSnapshot | None = None) -> Any:
+        """:meth:`scalar` against the published epoch."""
+        if self.query.head:
+            raise ValueError("scalar() requires an empty-head query")
+        if snap is None:
+            snap = self.snapshot()
+        ring = self.ring
+        payload = ring.one
+        for root in self.roots:
+            value = snap.data_of(root.view).get((), ring.zero)
+            payload = ring.mul(payload, value)
+        return payload
+
+    def enumerate_snapshot(
+        self,
+        prebound: dict[str, Any] | None = None,
+        snap: EpochSnapshot | None = None,
+    ) -> Iterator[tuple[tuple, Any]]:
+        """:meth:`enumerate` against the published epoch.
+
+        Safe to drive from any thread while maintenance runs: every probe
+        resolves against the epoch's frozen dicts, never the live ones.
+        """
+        if snap is None:
+            snap = self.snapshot()
+        stats = self._maintenance_stats
+        return observed_enumeration(
+            stats, self._enumerate(prebound, stats, epoch=snap)
+        )
+
+    def lookup_snapshot(
+        self, key: tuple, snap: EpochSnapshot | None = None
+    ) -> Any:
+        """:meth:`lookup` against the published epoch."""
+        if snap is None:
+            snap = self.snapshot()
+        key = tuple(key)
+        head = self.query.head
+        if len(key) != len(head):
+            raise ValueError(
+                f"lookup key {key!r} does not match head {head!r}"
+            )
+        if not head:
+            return self.scalar_snapshot(snap)
+        stats = self._maintenance_stats
+        prebound = dict(zip(head, key))
+        result = self.ring.zero
+        for found, payload in self._enumerate(prebound, stats, epoch=snap):
+            if found == key:
+                result = payload
+                break
+        if stats is not None:
+            stats.record_point_lookup()
+        return result
+
+    # ------------------------------------------------------------------
     # Enumeration
     # ------------------------------------------------------------------
 
@@ -460,18 +586,25 @@ class ViewTreeEngine(Observable):
         return result
 
     def _enumerate(
-        self, prebound: dict[str, Any] | None = None, stats=None
+        self,
+        prebound: dict[str, Any] | None = None,
+        stats=None,
+        epoch: EpochSnapshot | None = None,
     ) -> Iterator[tuple[tuple, Any]]:
         """Dispatch to the compiled kernel or the generic recursive walk.
 
         ``stats`` feeds the kernel's structural read-path counters
         (``enum_compiled``, guard probes); internal materializations pass
         ``None`` so they leave no trace in an attached recorder.
+
+        ``epoch`` redirects every probe to a published
+        :class:`EpochSnapshot` instead of the live relations (the
+        snapshot-read path).
         """
         plan = self._enum_plan
         if plan is not None:
-            return plan.iterate(prebound, stats)
-        return self._enumerate_generic(prebound)
+            return plan.iterate(prebound, stats, epoch=epoch)
+        return self._enumerate_generic(prebound, epoch=epoch)
 
     def _enum_schedule_specs(self) -> list[tuple]:
         """Flatten the enumeration walk for the generic fallback.
@@ -503,7 +636,9 @@ class ViewTreeEngine(Observable):
         return specs
 
     def _enumerate_generic(
-        self, prebound: dict[str, Any] | None = None
+        self,
+        prebound: dict[str, Any] | None = None,
+        epoch: EpochSnapshot | None = None,
     ) -> Iterator[tuple[tuple, Any]]:
         """Enumerate output tuples (key over the head, payload).
 
@@ -516,6 +651,9 @@ class ViewTreeEngine(Observable):
         the output variables in the order and arrive bound: instead of
         iterating a node's candidates, the engine checks the given value
         with one guard lookup.
+
+        With ``epoch`` set, every probe reads the snapshot's frozen dicts
+        (raw probes, no op accounting) instead of the live relations.
         """
         if not self.order.is_free_top():
             raise ValueError(
@@ -523,6 +661,7 @@ class ViewTreeEngine(Observable):
                 "factorized enumeration is unavailable"
             )
         ring = self.ring
+        zero = ring.zero
         head = self.query.head
         prebound = prebound or {}
         binding: dict[str, Any] = {}
@@ -530,6 +669,25 @@ class ViewTreeEngine(Observable):
         if schedule is None:
             schedule = self._enum_schedule = self._enum_schedule_specs()
         nsteps = len(schedule)
+        # Per-step frozen dicts when reading an epoch, resolved up front
+        # so a publish racing with this generator cannot mix epochs.
+        resolved: list[tuple] | None = None
+        if epoch is not None:
+            resolved = []
+            for spec in schedule:
+                if not spec[0]:
+                    resolved.append((epoch.data_of(spec[1]),))
+                else:
+                    guard, group_vars = spec[2], spec[3]
+                    resolved.append(
+                        (
+                            epoch.data_of(guard),
+                            epoch.groups_of(guard, group_vars),
+                            tuple(
+                                epoch.data_of(leaf) for leaf, _ in spec[6]
+                            ),
+                        )
+                    )
 
         def rec(i: int, payload: Any) -> Iterator[tuple[tuple, Any]]:
             if ring.is_zero(payload):
@@ -542,7 +700,11 @@ class ViewTreeEngine(Observable):
                 # A fully-bound subtree contributes its view value.
                 _, view, view_vars = spec
                 key = tuple(binding[v] for v in view_vars)
-                yield from rec(i + 1, ring.mul(payload, view.get(key)))
+                if resolved is None:
+                    value = view.get(key)
+                else:
+                    value = resolved[i][0].get(key, zero)
+                yield from rec(i + 1, ring.mul(payload, value))
                 return
             _, variable, guard, group_vars, var_pos, guard_vars, leaf_specs = spec
             if variable in prebound:
@@ -550,16 +712,30 @@ class ViewTreeEngine(Observable):
                 # iterating candidates (one O(1) guard probe).
                 binding[variable] = prebound[variable]
                 probe = tuple(binding[v] for v in guard_vars)
-                candidates = [] if ring.is_zero(guard.get(probe)) else [probe]
+                if resolved is None:
+                    candidates = [] if ring.is_zero(guard.get(probe)) else [probe]
+                else:
+                    # Stored payloads are non-zero by construction, so
+                    # membership alone decides the probe.
+                    candidates = [probe] if probe in resolved[i][0] else []
             else:
                 group_key = tuple(binding[v] for v in group_vars)
-                candidates = guard.group(group_vars, group_key)
+                if resolved is None:
+                    candidates = guard.group(group_vars, group_key)
+                else:
+                    candidates = resolved[i][1].get(group_key, ())
+            leaf_datas = resolved[i][2] if resolved is not None else None
             for key in candidates:
                 binding[variable] = key[var_pos]
                 factor = ring.one
                 ok = True
-                for leaf, leaf_vars in leaf_specs:
-                    value = leaf.get(tuple(binding[v] for v in leaf_vars))
+                for j, (leaf, leaf_vars) in enumerate(leaf_specs):
+                    if leaf_datas is None:
+                        value = leaf.get(tuple(binding[v] for v in leaf_vars))
+                    else:
+                        value = leaf_datas[j].get(
+                            tuple(binding[v] for v in leaf_vars), zero
+                        )
                     if ring.is_zero(value):
                         ok = False
                         break
@@ -568,7 +744,9 @@ class ViewTreeEngine(Observable):
                     yield from rec(i + 1, ring.mul(payload, factor))
 
         if not head:
-            payload = self.scalar()
+            payload = (
+                self.scalar() if epoch is None else self.scalar_snapshot(epoch)
+            )
             if not ring.is_zero(payload):
                 yield (), payload
             return

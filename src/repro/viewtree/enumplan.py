@@ -143,7 +143,7 @@ class EnumPlan:
         self.steps = steps
 
     def iterate(
-        self, prebound: dict[str, Any] | None = None, stats=None
+        self, prebound: dict[str, Any] | None = None, stats=None, epoch=None
     ) -> Iterator[tuple[tuple, Any]]:
         """Enumerate ``(head key, payload)`` pairs through the plan.
 
@@ -153,6 +153,12 @@ class EnumPlan:
         one explicit stack.  ``stats`` receives the structural read-path
         counters (``enum_compiled``, guard probes); pass ``None`` for an
         unobserved materialization.
+
+        ``epoch`` (an :class:`~repro.viewtree.epoch.EpochSnapshot`)
+        redirects every dict binding — guard data, group buckets, leaf
+        and view payloads — to the published snapshot's frozen dicts, so
+        the walk is identical but reads a consistent committed state
+        while maintenance mutates the live relations from another thread.
         """
         ring = self.ring
         mul = ring.mul
@@ -170,11 +176,19 @@ class EnumPlan:
         if stats is not None:
             stats.record_compiled_enumeration()
         try:
+            # Dict source: live relation attributes, or — for snapshot
+            # reads — the epoch's frozen dicts.  Everything below this
+            # pair of accessors is identical in both modes.
+            if epoch is None:
+                data_of = None
+            else:
+                data_of = epoch.data_of
             slots: list = [None] * self.nslots
             payload = one
             for view, positions in self.prefix_probes:
                 lookups += 1
-                factor = view.data.get(_tuple_getter(positions)(slots))
+                vdata = view.data if data_of is None else data_of(view)
+                factor = vdata.get(_tuple_getter(positions)(slots))
                 if factor is None:
                     return
                 payload = mul(payload, factor)
@@ -189,22 +203,35 @@ class EnumPlan:
                 if prebound
                 else None
             )
-            guard_data = [step.guard.data for step in steps]
-            groups = [step.index.groups for step in steps]
+            if data_of is None:
+                guard_data = [step.guard.data for step in steps]
+                groups = [step.index.groups for step in steps]
+            else:
+                guard_data = [data_of(step.guard) for step in steps]
+                groups = [
+                    epoch.groups_of(step.guard, step.index.group_vars)
+                    for step in steps
+                ]
             group_of = [_tuple_getter(step.group_positions) for step in steps]
             probe_of = [_tuple_getter(step.probe_positions) for step in steps]
             var_slot = [step.var_slot for step in steps]
             var_pos = [step.var_pos for step in steps]
             leaf_probes = [
                 tuple(
-                    (leaf.data, _tuple_getter(positions))
+                    (
+                        leaf.data if data_of is None else data_of(leaf),
+                        _tuple_getter(positions),
+                    )
                     for leaf, positions in step.leaf_probes
                 )
                 for step in steps
             ]
             post_probes = [
                 tuple(
-                    (view.data, _tuple_getter(positions))
+                    (
+                        view.data if data_of is None else data_of(view),
+                        _tuple_getter(positions),
+                    )
                     for view, positions in step.post_probes
                 )
                 for step in steps

@@ -1,0 +1,96 @@
+"""Epoch snapshots: immutable, consistent views of a committed prefix.
+
+The serving tier's concurrency model (ROADMAP "epoch-based snapshot
+reads"): maintenance keeps writing into the live relations while any
+number of reader threads enumerate a frozen *epoch* — the state of every
+view, guard, and leaf at the last ``publish_epoch()`` call — with the
+same constant-delay guarantees as a serialized read.
+
+The mechanism is copy-on-write at two granularities (see
+:meth:`repro.data.relation.Relation.share_version`):
+
+* each relation's payload dict is frozen by reference; the first
+  post-publish write copies it (``tables_copied``);
+* each :class:`~repro.data.relation.GroupIndex` freezes its bucket dict;
+  post-publish writes copy the top-level mapping once and then each
+  touched bucket exactly once per epoch (``buckets_copied``).
+
+An :class:`EpochSnapshot` is just the bag of frozen references, keyed by
+relation identity, published with a single attribute assignment (atomic
+under the GIL) so readers either see the whole previous epoch or the
+whole new one — never a mix.  Multiple epochs coexist naturally: an old
+snapshot pins its dicts alive until the last reader drops it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+
+class EpochSnapshot:
+    """Frozen references to every relation of one published epoch.
+
+    ``tables`` maps ``id(relation)`` to its frozen payload dict;
+    ``groups`` maps ``(id(relation), group_vars)`` to the frozen bucket
+    dict of that relation's group index.  ``cow_buckets`` /
+    ``cow_tables`` report the copy-on-write work the *previous* epoch
+    cost (buckets and payload dicts copied since the prior publish).
+    """
+
+    __slots__ = ("number", "tables", "groups", "cow_buckets", "cow_tables")
+
+    def __init__(
+        self,
+        number: int,
+        tables: dict[int, dict],
+        groups: dict[tuple[int, tuple[str, ...]], dict],
+        cow_buckets: int = 0,
+        cow_tables: int = 0,
+    ):
+        self.number = number
+        self.tables = tables
+        self.groups = groups
+        self.cow_buckets = cow_buckets
+        self.cow_tables = cow_tables
+
+    @classmethod
+    def capture(cls, number: int, relations: Iterable[Any]) -> "EpochSnapshot":
+        """Freeze ``relations`` (views, guards, leaves) into one snapshot."""
+        tables: dict[int, dict] = {}
+        groups: dict[tuple[int, tuple[str, ...]], dict] = {}
+        cow_buckets = 0
+        cow_tables = 0
+        for relation in relations:
+            ident = id(relation)
+            if ident in tables:
+                continue
+            data, rel_groups, buckets, copied = relation.share_version()
+            tables[ident] = data
+            cow_buckets += buckets
+            cow_tables += copied
+            for group_vars, bucket_map in rel_groups.items():
+                groups[(ident, group_vars)] = bucket_map
+        return cls(number, tables, groups, cow_buckets, cow_tables)
+
+    def data_of(self, relation: Any) -> dict:
+        """The frozen payload dict of ``relation`` in this epoch."""
+        try:
+            return self.tables[id(relation)]
+        except KeyError:
+            raise RuntimeError(
+                f"relation {getattr(relation, 'name', relation)!r} is not "
+                f"covered by epoch {self.number}; call publish_epoch() "
+                "after structural changes"
+            ) from None
+
+    def groups_of(self, relation: Any, group_vars: tuple[str, ...]) -> dict:
+        """The frozen bucket dict of ``relation``'s index on ``group_vars``."""
+        try:
+            return self.groups[(id(relation), group_vars)]
+        except KeyError:
+            raise RuntimeError(
+                f"index on {group_vars!r} of relation "
+                f"{getattr(relation, 'name', relation)!r} is not covered by "
+                f"epoch {self.number}; call publish_epoch() after "
+                "structural changes"
+            ) from None

@@ -1,6 +1,7 @@
 """The async group-commit serving front-end (`repro.serve`)."""
 
 import asyncio
+import signal
 import sys
 import threading
 import time
@@ -13,6 +14,36 @@ from repro.obs import MaintenanceStats
 from repro.query.parser import parse_query
 from repro.serve import AsyncIVMServer, GroupCommitQueue, update_stream
 from repro.serve.batcher import QueueClosed
+
+TEST_TIMEOUT_SECONDS = 60.0
+
+
+@pytest.fixture(autouse=True)
+def _wall_clock_timeout():
+    """Fail instead of hanging: an event-loop deadlock in these tests
+    would otherwise wedge the whole suite.  Stdlib ``SIGALRM`` keeps the
+    guard dependency-free; it degrades to a no-op on platforms without
+    the signal (or off the main thread, where signals cannot be set).
+    """
+    if (
+        not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {TEST_TIMEOUT_SECONDS:g}s wall-clock limit"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, TEST_TIMEOUT_SECONDS)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 def fresh_engine(text, shards=1):
@@ -475,3 +506,132 @@ class TestPointLookup:
         enumeration = merged.to_dict()["enumeration"]
         assert enumeration["point_lookups"] == 8
         assert enumeration["lookup_shards_probed"] == 8
+
+# ----------------------------------------------------------------------
+# Concurrency regressions (serve/shard bugfix sweep)
+# ----------------------------------------------------------------------
+
+
+class TestConcurrencyRegressions:
+    def test_stop_while_submit_backpressured_raises_server_stopped(self):
+        """A submit blocked on backpressure when ``stop()`` closes the
+        queue must surface the documented ``RuntimeError("server is
+        stopped")`` — not the queue's internal ``QueueClosed`` — because
+        the update was never accepted."""
+        query, engine = fresh_engine("Q(A) = R(A,B) * S(B)")
+        release = threading.Event()
+        inner_apply = engine.apply_batch
+
+        def gated_apply(batch):
+            release.wait(TEST_TIMEOUT_SECONDS / 2)
+            inner_apply(batch)
+
+        engine.apply_batch = gated_apply
+        updates = list(update_stream(query, 3, domain=4, seed=11))
+
+        async def run():
+            server = AsyncIVMServer(
+                engine, max_batch=1, max_delay=0.0, high_water=1
+            )
+            await server.start()
+            await server.submit(updates[0])
+            await asyncio.sleep(0.05)  # committer takes it, parks in apply
+            await server.submit(updates[1])  # queue back at high water
+            loop = asyncio.get_running_loop()
+            blocked = loop.create_task(server.submit(updates[2]))
+            await asyncio.sleep(0.05)
+            assert not blocked.done()  # stuck on backpressure
+            stopper = loop.create_task(server.stop())
+            with pytest.raises(
+                RuntimeError, match="server is stopped"
+            ) as excinfo:
+                await blocked
+            assert not isinstance(excinfo.value, QueueClosed)
+            release.set()
+            await stopper
+
+        asyncio.run(run())
+
+    def test_drain_parks_instead_of_spinning(self):
+        """While a commit is in flight with a stale-set idle event,
+        ``drain()`` must park on the event — not busy-loop through
+        thousands of wait/sleep(0) iterations until the commit lands."""
+        query, engine = fresh_engine("Q(A) = R(A,B) * S(B)")
+
+        async def run():
+            server = AsyncIVMServer(engine)
+            await server.start()
+            # Pathological pre-fix state: idle event set while a commit
+            # is still in flight (a submit sealed and the committer set
+            # the event on an empty queue before drain() ran).
+            server._inflight_oldest = time.perf_counter()
+            server._idle.set()
+
+            waits = 0
+            inner_wait = server._idle.wait
+
+            async def counting_wait():
+                nonlocal waits
+                waits += 1
+                return await inner_wait()
+
+            server._idle.wait = counting_wait
+
+            async def finish_commit():
+                await asyncio.sleep(0.05)
+                server._inflight_oldest = None
+                server._idle.set()
+
+            task = asyncio.get_running_loop().create_task(finish_commit())
+            await server.drain()
+            await task
+            await server.stop()
+            return waits
+
+        # The drainer parks once (maybe twice on a spurious wake); the
+        # old code spun through hundreds of iterations in those 50ms.
+        assert asyncio.run(run()) <= 3
+
+    def test_failed_commits_counted_apart_from_latency_stats(self):
+        """Failed commits must bump ``commit_errors`` only — never the
+        commit count or the latency/batch-size histograms, whose
+        percentiles should describe real commits."""
+        query, engine = fresh_engine("Q(A) = R(A,B) * S(B)")
+        inner_apply = engine.apply_batch
+        calls = {"n": 0}
+
+        def flaky_apply(batch):
+            calls["n"] += 1
+            if calls["n"] % 2 == 1:
+                raise RuntimeError("flaky kaboom")
+            inner_apply(batch)
+
+        engine.apply_batch = flaky_apply
+        updates = list(update_stream(query, 4, domain=4, seed=3))
+
+        async def run():
+            stats = MaintenanceStats()
+            server = AsyncIVMServer(
+                engine, max_batch=1, max_delay=0.0, stats=stats
+            )
+            await server.start()
+            for update in updates:
+                await server.submit(update)
+                try:
+                    await server.drain()
+                except RuntimeError:
+                    pass  # the surfaced commit error, consumed
+            try:
+                await server.stop()
+            except RuntimeError:
+                pass
+            return stats
+
+        stats = asyncio.run(run())
+        assert stats.commit_errors == 2
+        assert stats.commits == 2
+        assert stats.commit_latency.count == stats.commits
+        assert stats.commit_batch_size.count == stats.commits
+        assert stats.commit_batch_size.stat.total == 2  # applied updates only
+        assert "2 failed" in stats.render()
+        assert stats.to_dict()["serving"]["commit_errors"] == 2
