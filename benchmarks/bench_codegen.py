@@ -1,0 +1,380 @@
+"""Source-generated kernels vs the interpreted delta/enum plans.
+
+``repro.viewtree.codegen`` compiles each :class:`DeltaPlan` and
+:class:`EnumPlan` one rung further than PR 3-5's interpreted step lists:
+it emits Python source with the step loop fully unrolled (ring ops
+inlined, projections as literal index tuples, sinks fused in place) and
+``exec``\\ s it into specialized ``push`` / ``push_batch`` / ``iterate``
+functions, cached per plan *shape*.  The interpreted plans stay wired in
+as the bit-identical differential-testing oracle; this bench measures
+what the extra compilation rung buys.
+
+Four tables:
+
+* **single-tuple push** — ``kernel.push`` vs ``plan.push`` on identical
+  mixed insert/delete streams, kernel-level (leaf bookkeeping excluded
+  from both sides identically);
+* **columnar push_batch** — ``kernel.push_batch`` over coalesced
+  columnar key/payload lists vs ``plan.push_batch`` over the coalesced
+  delta dicts it consumes, at batch sizes 64 and 256;
+* **engine-level apply (context)** — the same comparison through
+  ``ViewTreeEngine.apply`` / ``apply_batch``, where leaf writes and
+  dispatch dilute the kernel win;
+* **enumeration (context)** — full output drains through the generated
+  read-path kernel vs the interpreted enumeration plan.
+
+Every generated run is differential-checked against its interpreted
+twin before any rate is reported.
+
+Acceptance gates: generated >= 2x interpreted on the q-hierarchical
+single-tuple push path for both workloads (typical: 2.8-3.4x), and
+hard floors on the batch path -- >= 1.5x per configuration and >= 1.8x
+geometric mean over the q-hierarchical configurations (typical: 2.0-2.25x
+per configuration, geomean ~2.1x; the floors sit below typical so shared
+CI runners don't flake, while the benchdiff band against the committed
+baseline catches regressions).
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import math
+import random
+import time
+
+from repro.bench import Table
+from repro.data import Database, Update
+from repro.data.columnar import coalesce_columnar
+from repro.data.update import coalesce_grouped
+from repro.query import parse_query
+from repro.query.variable_order import search_order
+from repro.viewtree import ViewTreeEngine
+
+from _util import report
+
+UPDATES = 20000
+PREFILL = 500
+DOMAIN = 400
+DELETE_FRACTION = 0.25
+ZIPF_S = 1.2
+BATCH_SIZES = (64, 256)
+REPEATS = 3
+
+QUERIES = (
+    ("q-hierarchical", "Q(Y, X, Z) = R(Y, X) * S(Y, Z)"),
+    ("hierarchical", "Q(A, C) = R(A, B) * S(B, C)"),
+)
+
+
+def _sampler(rng, workload):
+    if workload == "uniform":
+        return lambda: rng.randrange(DOMAIN)
+    weights = list(
+        itertools.accumulate(1.0 / (k + 1) ** ZIPF_S for k in range(DOMAIN))
+    )
+    total = weights[-1]
+    return lambda: min(
+        bisect.bisect_left(weights, rng.random() * total), DOMAIN - 1
+    )
+
+
+def _stream(query, workload, seed):
+    """A valid mixed insert/delete stream over the query's relations."""
+    rng = random.Random(seed)
+    value = _sampler(rng, workload)
+    names = sorted({a.relation for a in query.atoms})
+    arity = {a.relation: len(a.variables) for a in query.atoms}
+    live = {name: [] for name in names}
+    stream = []
+    for _ in range(UPDATES):
+        name = names[rng.randrange(len(names))]
+        keys = live[name]
+        if keys and rng.random() < DELETE_FRACTION:
+            key = keys.pop(rng.randrange(len(keys)))
+            stream.append(Update(name, key, -1))
+        else:
+            key = tuple(value() for _ in range(arity[name]))
+            keys.append(key)
+            stream.append(Update(name, key, 1))
+    return stream
+
+
+def _fresh_db(query, workload, seed=99):
+    rng = random.Random(seed)
+    value = _sampler(rng, workload)
+    db = Database()
+    for atom in query.atoms:
+        if atom.relation not in db.relations:
+            db.create(atom.relation, atom.variables)
+    for name, relation in db.relations.items():
+        arity = len(relation.schema.variables)
+        for _ in range(PREFILL):
+            relation.add(tuple(value() for _ in range(arity)), 1)
+    return db
+
+
+def _order_for(query):
+    from repro.query.properties import is_q_hierarchical
+
+    if is_q_hierarchical(query):
+        return None
+    return search_order(query, require_free_top=True)
+
+
+def _engine(query, workload, order, codegen):
+    return ViewTreeEngine(
+        query, _fresh_db(query, workload), order, codegen=codegen
+    )
+
+
+def _kernel_rows(engine, codegen):
+    """relation -> push targets: generated kernels or interpreted plans."""
+    if not codegen:
+        return engine._plans
+    return {
+        name: [
+            kernel if kernel is not None else plan
+            for kernel, plan in zip(row, engine._plans[name])
+        ]
+        for name, row in engine._kernels.items()
+    }
+
+
+def _push_seconds(query, workload, order, stream, codegen):
+    """One single-tuple kernel replay; returns (seconds, engine)."""
+    engine = _engine(query, workload, order, codegen)
+    rows = _kernel_rows(engine, codegen)
+    start = time.perf_counter()
+    for update in stream:
+        for target in rows[update.relation]:
+            target.push(update.key, update.payload, None)
+    return time.perf_counter() - start, engine
+
+
+def _batch_seconds(query, workload, order, slices, codegen):
+    """One columnar/grouped batch replay; returns (seconds, engine)."""
+    engine = _engine(query, workload, order, codegen)
+    rows = _kernel_rows(engine, codegen)
+    start = time.perf_counter()
+    if codegen:
+        for grouped in slices:
+            for name, (keys, pays) in grouped.items():
+                for target in rows[name]:
+                    target.push_batch(keys, pays, None)
+    else:
+        for grouped in slices:
+            for name, delta in grouped.items():
+                for target in rows[name]:
+                    target.push_batch(delta, None)
+    return time.perf_counter() - start, engine
+
+
+def _ab_best(trial_interp, trial_gen, repeats=REPEATS):
+    """Interleaved best-of-N for both sides; returns (s_interp, s_gen)
+    plus the last engines for the differential check."""
+    best_i = best_g = float("inf")
+    engine_i = engine_g = None
+    for _ in range(repeats):
+        seconds, engine_i = trial_interp()
+        best_i = min(best_i, seconds)
+        seconds, engine_g = trial_gen()
+        best_g = min(best_g, seconds)
+    return best_i, best_g, engine_i, engine_g
+
+
+def _assert_same_output(engine_interp, engine_gen):
+    # Differential gate: generated kernels must be invisible semantically.
+    assert (
+        engine_gen.output_relation().to_dict()
+        == engine_interp.output_relation().to_dict()
+    )
+
+
+def bench_codegen(benchmark):
+    benchmark.pedantic(_codegen_table, rounds=1, iterations=1)
+
+
+def _codegen_table():
+    push_table = Table(
+        "generated delta kernels -- single-tuple push throughput (upd/s)",
+        ["query", "workload", "interpreted upd/s", "generated upd/s",
+         "speedup"],
+    )
+    batch_table = Table(
+        "generated batch kernels -- columnar push_batch throughput (upd/s)",
+        ["query", "workload", "batch size", "interpreted upd/s",
+         "generated upd/s", "speedup"],
+    )
+    engine_table = Table(
+        "engine-level apply with generated kernels (context)",
+        ["path", "interpreted upd/s", "generated upd/s", "speedup"],
+    )
+    enum_table = Table(
+        "generated enumeration kernels -- full drain (context)",
+        ["query", "interpreted tuples/s", "generated tuples/s", "speedup"],
+    )
+
+    push_speedups = {}
+    batch_speedups = {}
+    codegen_meta = {}
+
+    for label, text in QUERIES:
+        query = parse_query(text)
+        order = _order_for(query)
+        ring = _fresh_db(query, "uniform").ring
+        for workload in ("uniform", "zipf"):
+            stream = _stream(query, workload, 7)
+
+            # -- single-tuple kernel push ------------------------------
+            s_interp, s_gen, e_interp, e_gen = _ab_best(
+                lambda: _push_seconds(query, workload, order, stream, False),
+                lambda: _push_seconds(query, workload, order, stream, True),
+            )
+            _assert_same_output(e_interp, e_gen)
+            if not codegen_meta and e_gen._codegen_info is not None:
+                codegen_meta = dict(e_gen._codegen_info)
+            rate_i = len(stream) / s_interp
+            rate_g = len(stream) / s_gen
+            speedup = rate_g / rate_i
+            push_speedups[(label, workload)] = speedup
+            push_table.add(
+                label,
+                workload,
+                f"{rate_i:,.0f}",
+                f"{rate_g:,.0f}",
+                f"{speedup:.2f}x",
+            )
+
+            # -- columnar batch push ----------------------------------
+            for batch_size in BATCH_SIZES:
+                grouped_slices = [
+                    coalesce_grouped(stream[at : at + batch_size], ring)
+                    for at in range(0, len(stream), batch_size)
+                ]
+                columnar_slices = [
+                    coalesce_columnar(stream[at : at + batch_size], ring)
+                    for at in range(0, len(stream), batch_size)
+                ]
+                s_interp, s_gen, e_interp, e_gen = _ab_best(
+                    lambda: _batch_seconds(
+                        query, workload, order, grouped_slices, False
+                    ),
+                    lambda: _batch_seconds(
+                        query, workload, order, columnar_slices, True
+                    ),
+                )
+                _assert_same_output(e_interp, e_gen)
+                rate_i = len(stream) / s_interp
+                rate_g = len(stream) / s_gen
+                speedup = rate_g / rate_i
+                batch_speedups[(label, workload, batch_size)] = speedup
+                batch_table.add(
+                    label,
+                    workload,
+                    str(batch_size),
+                    f"{rate_i:,.0f}",
+                    f"{rate_g:,.0f}",
+                    f"{speedup:.2f}x",
+                )
+
+    # -- engine-level context (q-hierarchical, uniform) ----------------
+    query = parse_query(QUERIES[0][1])
+    stream = _stream(query, "uniform", 7)
+
+    def _apply_seconds(codegen):
+        engine = _engine(query, "uniform", None, codegen)
+        apply = engine.apply
+        start = time.perf_counter()
+        for update in stream:
+            apply(update)
+        return time.perf_counter() - start, engine
+
+    def _apply_batch_seconds(codegen):
+        engine = _engine(query, "uniform", None, codegen)
+        start = time.perf_counter()
+        for at in range(0, len(stream), 256):
+            engine.apply_batch(stream[at : at + 256], rebuild_factor=None)
+        return time.perf_counter() - start, engine
+
+    for path, fn in (
+        ("apply", _apply_seconds),
+        ("apply_batch (256)", _apply_batch_seconds),
+    ):
+        s_interp, s_gen, e_interp, e_gen = _ab_best(
+            lambda: fn(False), lambda: fn(True)
+        )
+        _assert_same_output(e_interp, e_gen)
+        rate_i = len(stream) / s_interp
+        rate_g = len(stream) / s_gen
+        engine_table.add(
+            path,
+            f"{rate_i:,.0f}",
+            f"{rate_g:,.0f}",
+            f"{rate_g / rate_i:.2f}x",
+        )
+
+    # -- enumeration context -------------------------------------------
+    for label, text in QUERIES:
+        query = parse_query(text)
+        order = _order_for(query)
+        stream = _stream(query, "uniform", 7)[:4000]
+
+        def _drain_seconds(codegen):
+            engine = _engine(query, "uniform", order, codegen)
+            for update in stream:
+                engine.apply(update)
+            best = float("inf")
+            count = 0
+            for _ in range(REPEATS):
+                start = time.perf_counter()
+                count = sum(1 for _ in engine.enumerate())
+                best = min(best, time.perf_counter() - start)
+            return best, count
+
+        s_interp, count_i = _drain_seconds(False)
+        s_gen, count_g = _drain_seconds(True)
+        assert count_i == count_g, (count_i, count_g)
+        rate_i = count_i / s_interp
+        rate_g = count_g / s_gen
+        enum_table.add(
+            label,
+            f"{rate_i:,.0f}",
+            f"{rate_g:,.0f}",
+            f"{rate_g / rate_i:.2f}x",
+        )
+
+    qhier_batch = [
+        speedup
+        for (label, _, _), speedup in batch_speedups.items()
+        if label == "q-hierarchical"
+    ]
+    batch_geomean = math.prod(qhier_batch) ** (1 / len(qhier_batch))
+
+    report(
+        push_table,
+        "codegen.txt",
+        extra_tables=[batch_table, engine_table, enum_table],
+        meta={
+            "queries": {label: text for label, text in QUERIES},
+            "updates": UPDATES,
+            "prefill": PREFILL,
+            "domain": DOMAIN,
+            "delete_fraction": DELETE_FRACTION,
+            "zipf_s": ZIPF_S,
+            "batch_sizes": list(BATCH_SIZES),
+            "repeats": REPEATS,
+            "qhier_batch_geomean": round(batch_geomean, 3),
+            "codegen": codegen_meta,
+        },
+    )
+
+    # Acceptance gates (see the module docstring for the floor rationale).
+    for workload in ("uniform", "zipf"):
+        assert push_speedups[("q-hierarchical", workload)] >= 2.0, (
+            push_speedups
+        )
+    for (label, workload, batch_size), speedup in batch_speedups.items():
+        if label == "q-hierarchical":
+            assert speedup >= 1.5, batch_speedups
+    assert batch_geomean >= 1.8, (batch_geomean, batch_speedups)

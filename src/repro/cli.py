@@ -24,7 +24,12 @@ sizes, memory, and rebalance events — the observability layer as a tool.
 ``--no-compile`` forces the generic interpreted delta path for A/B runs
 against the compiled kernels; ``--no-compile-enum`` does the same for
 the read path (generic recursive enumeration instead of the compiled
-EnumPlan kernel).
+EnumPlan kernel); ``--no-codegen`` keeps the compiled plans but runs
+them interpreted instead of as exec-generated source kernels.
+
+``explain`` prints the chosen plan, and with ``--kernel-source`` dumps
+the generated Python source of every delta/enumeration kernel the plan
+would run — the ground truth for what the codegen layer executes.
 
 ``benchplot`` renders ``repro.bench/1`` JSON records as grouped bar
 charts — PNG when matplotlib is available, ASCII bar tables otherwise,
@@ -158,6 +163,7 @@ def run_stats(
     zipf_s: float = 1.2,
     compile_plans: bool = True,
     compile_enum: bool = True,
+    codegen: bool = True,
     window: int = 256,
 ) -> int:
     """Replay a synthetic workload and print/dump the stats recorder."""
@@ -210,6 +216,7 @@ def run_stats(
         shards=shards,
         compile_plans=compile_plans,
         compile_enum=compile_enum,
+        codegen=codegen,
     )
     engine = IVMEngine(
         query,
@@ -220,6 +227,7 @@ def run_stats(
         shards=shards,
         compile_plans=compile_plans,
         compile_enum=compile_enum,
+        codegen=codegen,
     )
     stats = engine.attach_stats()
     deletes_ok = not insert_only and plan.strategy != "insert-only"
@@ -354,9 +362,80 @@ def run_stats(
                 "batch": batch,
                 "compiled": plan.compiled,
                 "enum_compiled": plan.enum_kernel,
+                "codegen": plan.codegen,
             },
         )
         print(f"stats written to {written}")
+    return 0
+
+
+def run_explain(
+    text: str,
+    fd_texts: list[str],
+    insert_only: bool,
+    kernel_source: bool,
+) -> int:
+    """Print the maintenance plan, optionally with generated kernel source.
+
+    Kernel source is a pure function of the plan *shape* (step structure
+    plus ring identity), so the dump over empty relations is exactly the
+    code a populated engine of the same shape executes — deterministic
+    output that tests pin.
+    """
+    from .constraints.fds import FunctionalDependency
+    from .core.engine import IVMEngine
+    from .cqap.engine import CQAPEngine
+    from .data.database import Database
+    from .shard.engine import ShardedEngine
+    from .viewtree.engine import ViewTreeEngine
+
+    query = parse_query(text)
+    fds = tuple(FunctionalDependency.parse(t) for t in fd_texts)
+    plan = plan_maintenance(query, fds, insert_only)
+    print(f"query: {query}")
+    print(f"plan:  {plan}")
+    if not kernel_source:
+        return 0
+    if not plan.codegen:
+        print()
+        print("no generated kernels: the plan runs without codegen")
+        return 0
+
+    db = Database()
+    for atom in query.atoms:
+        if atom.relation not in db:
+            db.create(atom.relation, atom.variables)
+    engine = IVMEngine(query, db, fds, insert_only, plan=plan)
+    backend = engine.backend
+    # One tree is enough: shards and fracture components share kernel
+    # shapes, so the first engine's source is the whole story.
+    if isinstance(backend, ShardedEngine):
+        trees = backend.engines[:1]
+    elif isinstance(backend, CQAPEngine):
+        trees = backend.engines
+    elif isinstance(backend, ViewTreeEngine):
+        trees = [backend]
+    else:
+        trees = []
+    dumped = 0
+    for index, tree in enumerate(trees):
+        prefix = f"component {index} " if len(trees) > 1 else ""
+        for name in sorted(tree._kernels):
+            for anchor, kernel in enumerate(tree._kernels[name]):
+                if kernel is None:
+                    continue
+                print()
+                print(f"-- {prefix}delta kernel {name}[{anchor}] --")
+                print(kernel.source.rstrip("\n"))
+                dumped += 1
+        if tree._enum_kernel is not None:
+            print()
+            print(f"-- {prefix}enum kernel --")
+            print(tree._enum_kernel.source.rstrip("\n"))
+            dumped += 1
+    if not dumped:
+        print()
+        print("no generated kernels: every plan fell back to the interpreter")
     return 0
 
 
@@ -380,6 +459,7 @@ def run_serve(
     per_update: bool = False,
     smoke: bool = False,
     snapshot_reads: bool | None = None,
+    codegen: bool = True,
 ) -> int:
     """Closed-loop load test against the async serving front-end."""
     import asyncio
@@ -424,8 +504,8 @@ def run_serve(
         print("query has no dynamic relations; nothing to serve")
         return 1
 
-    plan = plan_maintenance(query, fds, shards=shards)
-    engine = IVMEngine(query, db, fds, plan=plan, shards=shards)
+    plan = plan_maintenance(query, fds, shards=shards, codegen=codegen)
+    engine = IVMEngine(query, db, fds, plan=plan, shards=shards, codegen=codegen)
     if per_update:
         max_batch, max_delay_ms = 1, 0.0
     server = AsyncIVMServer(
@@ -512,6 +592,7 @@ def run_serve(
                 "high_water": high_water,
                 "per_update": per_update,
                 "snapshot_reads": server.snapshot_reads,
+                "codegen": plan.codegen,
                 **summary,
             },
         )
@@ -613,6 +694,30 @@ def main(argv: list[str] | None = None) -> int:
         help="disable the compiled enumeration kernel (A/B against the "
         "generic recursive walk)",
     )
+    stats_parser.add_argument(
+        "--no-codegen", action="store_true",
+        help="run the compiled plans interpreted instead of as "
+        "exec-generated source kernels (A/B against codegen)",
+    )
+
+    explain_parser = subparsers.add_parser(
+        "explain",
+        help="print the maintenance plan; --kernel-source dumps the "
+        "generated kernel code",
+    )
+    explain_parser.add_argument("query", help='e.g. "Q(A) = R(A,B) * S(B)"')
+    explain_parser.add_argument(
+        "--fd", action="append", default=[], metavar="'X -> Y'",
+        help="functional dependency (repeatable)",
+    )
+    explain_parser.add_argument(
+        "--insert-only", action="store_true",
+        help="assume an insert-only update stream (Section 4.6)",
+    )
+    explain_parser.add_argument(
+        "--kernel-source", action="store_true",
+        help="dump the generated Python source of every delta/enum kernel",
+    )
 
     serve_parser = subparsers.add_parser(
         "serve",
@@ -673,6 +778,11 @@ def main(argv: list[str] | None = None) -> int:
         "--per-update", action="store_true",
         help="commit every update individually (max_batch=1, no "
         "deadline) — the group-commit A/B baseline",
+    )
+    serve_parser.add_argument(
+        "--no-codegen", action="store_true",
+        help="run the compiled plans interpreted instead of as "
+        "exec-generated source kernels (A/B against codegen)",
     )
     serve_parser.add_argument(
         "--no-snapshot-reads", action="store_true",
@@ -741,7 +851,12 @@ def main(argv: list[str] | None = None) -> int:
             args.zipf_s,
             compile_plans=not args.no_compile,
             compile_enum=not args.no_compile_enum,
+            codegen=not args.no_codegen,
             window=args.window,
+        )
+    if args.command == "explain":
+        return run_explain(
+            args.query, args.fd, args.insert_only, args.kernel_source
         )
     if args.command == "serve":
         return run_serve(
@@ -764,6 +879,7 @@ def main(argv: list[str] | None = None) -> int:
             per_update=args.per_update,
             smoke=args.smoke,
             snapshot_reads=False if args.no_snapshot_reads else None,
+            codegen=not args.no_codegen,
         )
     if args.command == "benchplot":
         from .bench.plot import benchplot

@@ -61,6 +61,7 @@ class IVMEngine(Observable):
         shard_executor: str = "thread",
         compile_plans: bool = True,
         compile_enum: bool = True,
+        codegen: bool = True,
     ):
         self.query = query
         self.database = database
@@ -71,9 +72,11 @@ class IVMEngine(Observable):
             shards=shards,
             compile_plans=compile_plans,
             compile_enum=compile_enum,
+            codegen=codegen,
         )
         compile_plans = compile_plans and self.plan.compiled
         compile_enum = compile_enum and self.plan.enum_kernel
+        codegen = codegen and self.plan.codegen
         strategy = self.plan.strategy
 
         if strategy in ("viewtree", "viewtree-hierarchical", "sharded-viewtree"):
@@ -94,6 +97,7 @@ class IVMEngine(Observable):
                     executor=shard_executor,
                     compile_plans=compile_plans,
                     compile_enum=compile_enum,
+                    codegen=codegen,
                 )
             else:
                 self._engine = ViewTreeEngine(
@@ -103,6 +107,7 @@ class IVMEngine(Observable):
                     lifting=lifting,
                     compile_plans=compile_plans,
                     compile_enum=compile_enum,
+                    codegen=codegen,
                 )
         elif strategy == "fd-viewtree":
             self._engine = FDEngine(query, fds, database, lifting=lifting)
@@ -110,7 +115,11 @@ class IVMEngine(Observable):
             self._engine = StaticDynamicEngine(query, database, lifting=lifting)
         elif strategy == "cqap":
             self._engine = CQAPEngine(
-                query, database, lifting=lifting, compile_enum=compile_enum
+                query,
+                database,
+                lifting=lifting,
+                compile_enum=compile_enum,
+                codegen=codegen,
             )
         elif strategy == "insert-only":
             self._engine = InsertOnlyEngine(query)

@@ -50,6 +50,10 @@ class Plan:
     #: runs through a compiled EnumPlan (repro.viewtree.enumplan) —
     #: the read-side twin of ``compiled``.
     enum_kernel: bool = False
+    #: Whether the compiled plans additionally run as exec-generated
+    #: source kernels (repro.viewtree.codegen) — the plans stay around
+    #: as the interpreted differential-testing oracle.
+    codegen: bool = False
 
     def __str__(self) -> str:
         kernels = ""
@@ -61,6 +65,8 @@ class Plan:
             )
         if self.enum_kernel:
             kernels += ", compiled enumeration"
+        if self.codegen:
+            kernels += ", generated source"
         return (
             f"{self.strategy}: {self.reason} "
             f"[preprocess {self.preprocessing_time}, update {self.update_time}, "
@@ -110,6 +116,7 @@ def plan_maintenance(
     shards: int = 1,
     compile_plans: bool = True,
     compile_enum: bool = True,
+    codegen: bool = True,
 ) -> Plan:
     """Choose a maintenance plan following the Section 6 decision ladder.
 
@@ -126,6 +133,11 @@ def plan_maintenance(
     marks plans whose engine enumerates through a compiled EnumPlan
     (``repro.viewtree.enumplan``); pass ``False`` (the CLI's
     ``--no-compile-enum``) for the generic recursive walk.
+
+    ``codegen`` marks compiled plans to additionally exec-generate
+    specialized source kernels (``repro.viewtree.codegen``); pass
+    ``False`` (the CLI's ``--no-codegen``) to run the interpreted plans
+    directly.  It has effect only where some plan compiles at all.
     """
     plan = _plan_unsharded(query, tuple(fds), insert_only)
     if shards > 1 and plan.strategy in _SHARDABLE_STRATEGIES:
@@ -140,6 +152,8 @@ def plan_maintenance(
         plan = replace(plan, compiled=True, batch_kernel=True)
     if compile_enum and plan.strategy in _ENUM_COMPILABLE_STRATEGIES:
         plan = replace(plan, enum_kernel=True)
+    if codegen and (plan.compiled or plan.enum_kernel):
+        plan = replace(plan, codegen=True)
     return plan
 
 

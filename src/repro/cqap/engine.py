@@ -32,6 +32,7 @@ class CQAPEngine(Observable):
         database: Database,
         lifting: LiftingMap | None = None,
         compile_enum: bool = True,
+        codegen: bool = True,
     ):
         if not query.input_variables:
             raise ValueError(
@@ -53,6 +54,7 @@ class CQAPEngine(Observable):
                 ViewTreeEngine(
                     component, database, order, lifting,
                     compile_enum=compile_enum,
+                    codegen=codegen,
                 )
             )
         self._relations = frozenset(a.relation for a in query.atoms)

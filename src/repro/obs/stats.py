@@ -65,6 +65,10 @@ _SUMMARY_COUNT_KEYS = frozenset(
         "cow_buckets_copied",
         "cow_tables_copied",
         "snapshot_reads",
+        "kernels_generated",
+        "shape_cache_hits",
+        "codegen_fallbacks",
+        "codegen_time_ms",
     }
 )
 
@@ -312,6 +316,14 @@ class MaintenanceStats:
         self.snapshot_read_latency = LatencyHistogram()
         self.cow_buckets_copied = 0
         self.cow_tables_copied = 0
+        #: Codegen accounting (repro.viewtree.codegen): kernels exec'd
+        #: from generated source, wall-clock spent generating+compiling,
+        #: plan shapes served from the process-wide factory cache, and
+        #: plans that fell back to the interpreter.
+        self.kernels_generated = 0
+        self.codegen_time_ms = 0.0
+        self.shape_cache_hits = 0
+        self.codegen_fallbacks = 0
         #: Per-shard summaries recorded by labelled merges (sharded runs).
         self.shard_summaries: dict[str, dict] = {}
         # Recorders may be shared across threads (thread-pool shards,
@@ -517,6 +529,20 @@ class MaintenanceStats:
             self.snapshot_reads += 1
             self.snapshot_read_latency.record(seconds)
 
+    def record_codegen(
+        self,
+        kernels: int,
+        time_ms: float,
+        cache_hits: int = 0,
+        fallbacks: int = 0,
+    ) -> None:
+        """One engine's kernel-generation totals (recorded at attach)."""
+        with self._lock:
+            self.kernels_generated += kernels
+            self.codegen_time_ms += time_ms
+            self.shape_cache_hits += cache_hits
+            self.codegen_fallbacks += fallbacks
+
     # ------------------------------------------------------------------
     # Aggregation and export
     # ------------------------------------------------------------------
@@ -568,6 +594,10 @@ class MaintenanceStats:
                 "cow_buckets_copied": other.cow_buckets_copied,
                 "cow_tables_copied": other.cow_tables_copied,
                 "snapshot_reads": other.snapshot_reads,
+                "kernels_generated": other.kernels_generated,
+                "codegen_time_ms": other.codegen_time_ms,
+                "shape_cache_hits": other.shape_cache_hits,
+                "codegen_fallbacks": other.codegen_fallbacks,
             }
             # Shard-level kernel work is real engine work; roll it
             # up into the coordinator totals like elementary ops.
@@ -585,6 +615,10 @@ class MaintenanceStats:
             self.cow_tables_copied += other.cow_tables_copied
             self.snapshot_reads += other.snapshot_reads
             self.snapshot_read_latency.merge(other.snapshot_read_latency)
+            self.kernels_generated += other.kernels_generated
+            self.codegen_time_ms += other.codegen_time_ms
+            self.shape_cache_hits += other.shape_cache_hits
+            self.codegen_fallbacks += other.codegen_fallbacks
             for view, stat in other.delta_sizes.items():
                 mine = self.delta_sizes.get(f"{label}/{view}")
                 if mine is None:
@@ -646,6 +680,10 @@ class MaintenanceStats:
         self.snapshot_read_latency.merge(other.snapshot_read_latency)
         self.cow_buckets_copied += other.cow_buckets_copied
         self.cow_tables_copied += other.cow_tables_copied
+        self.kernels_generated += other.kernels_generated
+        self.codegen_time_ms += other.codegen_time_ms
+        self.shape_cache_hits += other.shape_cache_hits
+        self.codegen_fallbacks += other.codegen_fallbacks
         self.record_ops(other.ops)
         for shard_label, summary in other.shard_summaries.items():
             mine = self.shard_summaries.get(shard_label)
@@ -709,6 +747,12 @@ class MaintenanceStats:
                 "lookups": self.serve_lookups,
                 "read_staleness": self.read_staleness.to_dict(),
                 "commit_errors": self.commit_errors,
+            },
+            "codegen": {
+                "kernels_generated": self.kernels_generated,
+                "codegen_time_ms": self.codegen_time_ms,
+                "shape_cache_hits": self.shape_cache_hits,
+                "fallbacks": self.codegen_fallbacks,
             },
             "epochs": {
                 "published": self.epochs_published,
@@ -802,6 +846,13 @@ class MaintenanceStats:
                     f"p50<={s.percentile(0.5):.3g}s  "
                     f"p99<={s.percentile(0.99):.3g}s"
                 )
+        if self.kernels_generated or self.codegen_fallbacks:
+            lines.append(
+                f"codegen: {self.kernels_generated} kernels in "
+                f"{self.codegen_time_ms:.3g}ms  "
+                f"(shape-cache hits: {self.shape_cache_hits}, "
+                f"fallbacks: {self.codegen_fallbacks})"
+            )
         if self.epochs_published or self.snapshot_reads:
             lines.append(
                 f"epochs: {self.epochs_published} published  "

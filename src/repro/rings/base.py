@@ -38,6 +38,22 @@ class Semiring(ABC):
     #: ``False``.
     exact_zero: bool = True
 
+    #: Infix operator symbols that compute :meth:`add` / :meth:`mul` on
+    #: payload values (``"+"`` / ``"*"``), or ``None`` when the ring
+    #: operation is not a plain Python operator.  The code generator
+    #: (:mod:`repro.viewtree.codegen`) inlines the operator into emitted
+    #: kernels, turning a Python method call per ring operation into a
+    #: single bytecode.  Subclasses MUST only set these when the operator
+    #: expression is *bit-identical* to the method for every payload.
+    add_operator: str | None = None
+    mul_operator: str | None = None
+
+    #: numpy dtype name that losslessly represents this ring's payloads
+    #: (e.g. ``"float64"``), or ``None``.  The columnar batch path uses
+    #: it to coalesce numeric payload arrays with vectorized numpy ops;
+    #: accumulation must stay bit-identical to sequential :meth:`add`.
+    numeric_dtype: str | None = None
+
     @property
     @abstractmethod
     def zero(self) -> Any:

@@ -16,6 +16,8 @@ class IntegerRing(Ring):
     """The ring of integers ``(Z, +, *, 0, 1)`` used for multiplicities."""
 
     name = "Z"
+    add_operator = "+"
+    mul_operator = "*"
 
     @property
     def zero(self) -> int:
@@ -45,6 +47,9 @@ class FloatRing(Ring):
 
     name = "R"
     exact_zero = False  # tolerance band, not plain equality
+    add_operator = "+"
+    mul_operator = "*"
+    numeric_dtype = "float64"
 
     def __init__(self, tolerance: float = 1e-12):
         self.tolerance = tolerance

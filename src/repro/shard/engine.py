@@ -92,6 +92,7 @@ class ShardedEngine(Observable):
         max_workers: int | None = None,
         compile_plans: bool = True,
         compile_enum: bool = True,
+        codegen: bool = True,
     ):
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -133,9 +134,13 @@ class ShardedEngine(Observable):
                 leaf_filter=ShardLeafFilter(self.router, index),
                 compile_plans=compile_plans,
                 compile_enum=compile_enum,
+                codegen=codegen,
             )
             for index in range(self.shards)
         ]
+        #: Whether any shard engine runs generated kernels (shards share
+        #: plan shapes, so codegen compiles once and caches per shape).
+        self.codegen = any(engine.codegen for engine in self.engines)
         #: Variables whose subtree joins at least one partitioned leaf;
         #: their per-shard views are disjoint slices (ring-add to merge),
         #: all other views are identical replicas (take any one copy).

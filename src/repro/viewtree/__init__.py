@@ -1,5 +1,13 @@
 """View trees: higher-order factorized IVM (Sections 3.2 and 4.1)."""
 
+from .codegen import (
+    DeltaKernel,
+    EnumKernel,
+    compile_delta_kernel,
+    compile_enum_kernel,
+    ring_identity,
+    shape_cache_size,
+)
 from .compile import DeltaPlan, compile_delta_plans
 from .engine import ViewNode, ViewTreeEngine
 from .enumplan import EnumPlan, compile_enum_plan
@@ -14,10 +22,14 @@ from .strategies import (
 )
 
 __all__ = [
+    "DeltaKernel",
     "DeltaPlan",
     "EagerFact",
+    "EnumKernel",
     "EnumPlan",
+    "compile_delta_kernel",
     "compile_delta_plans",
+    "compile_enum_kernel",
     "compile_enum_plan",
     "EagerList",
     "LazyFact",
@@ -27,4 +39,6 @@ __all__ = [
     "ViewNode",
     "ViewTreeEngine",
     "make_strategy",
+    "ring_identity",
+    "shape_cache_size",
 ]

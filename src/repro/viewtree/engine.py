@@ -39,7 +39,15 @@ from ..naive.algebra import join_all, join_pair, marginalize, union_into
 from ..obs import Observable, observed, observed_enumeration
 from ..query.ast import Atom, Query
 from ..query.variable_order import VariableOrder, VarOrderNode, order_for
+from ..data.columnar import coalesce_columnar
 from ..rings.lifting import LiftingMap
+from .codegen import (
+    DeltaKernel,
+    EnumKernel,
+    compile_delta_kernel,
+    compile_enum_kernel,
+    new_codegen_info,
+)
 from .compile import DeltaPlan, compile_delta_plans
 from .enumplan import EnumPlan, _flatten, compile_enum_plan
 from .epoch import EpochSnapshot
@@ -127,6 +135,7 @@ class ViewTreeEngine(Observable):
         leaf_filter=None,
         compile_plans: bool = True,
         compile_enum: bool = True,
+        codegen: bool = True,
     ):
         """Build the view tree over ``database``.
 
@@ -155,6 +164,17 @@ class ViewTreeEngine(Observable):
         (the ``--no-compile-enum`` escape hatch) for the generic
         recursive walk.  Empty-head queries and non-free-top orders
         always use the generic path.
+
+        ``codegen`` takes the compiled plans one rung further: each
+        :class:`DeltaPlan`/:class:`EnumPlan` is source-generated into an
+        exec-compiled kernel (:mod:`repro.viewtree.codegen`) with the
+        step loops unrolled and projections/ring ops inlined; batches
+        run over columnar key/payload lists.  Pass ``False`` (the
+        ``--no-codegen`` escape hatch) to run the interpreted plans —
+        the bit-identical differential-testing oracle.  A plan whose
+        generation fails falls back to interpretation (counted as
+        ``fallbacks`` in the ``codegen`` obs block) without affecting
+        the others.
         """
         self.query = query
         self.database = database
@@ -184,6 +204,39 @@ class ViewTreeEngine(Observable):
             compile_enum_plan(self) if compile_enum else None
         )
         self.enum_compiled = self._enum_plan is not None
+        #: Source-generated kernels: relation name -> list parallel to
+        #: _plans (None entries fall back to the interpreted plan), plus
+        #: the read-path kernel.  Built only when ``codegen`` is set.
+        self._kernels: dict[str, list[DeltaKernel | None]] = {}
+        self._enum_kernel: EnumKernel | None = None
+        #: Generation counters, recorded into the first attached stats
+        #: recorder (then cleared, so re-attachment never double-counts).
+        self._codegen_info: dict | None = None
+        self.codegen = False
+        if codegen and (self.compiled or self._enum_plan is not None):
+            info = new_codegen_info()
+            for name, plans in self._plans.items():
+                row: list[DeltaKernel | None] = []
+                for plan in plans:
+                    try:
+                        row.append(compile_delta_kernel(plan, info))
+                    except Exception:
+                        info["fallbacks"] += 1
+                        row.append(None)
+                self._kernels[name] = row
+            if self._enum_plan is not None:
+                try:
+                    self._enum_kernel = compile_enum_kernel(
+                        self._enum_plan, info
+                    )
+                except Exception:
+                    info["fallbacks"] += 1
+            self.codegen = self._enum_kernel is not None or any(
+                kernel is not None
+                for row in self._kernels.values()
+                for kernel in row
+            )
+            self._codegen_info = info
         #: Lazily-built flat schedule for the generic fallback walk.
         self._enum_schedule: list | None = None
         #: Last published epoch number and its frozen snapshot.
@@ -200,6 +253,21 @@ class ViewTreeEngine(Observable):
         state = self.__dict__.copy()
         state["_epoch_snapshot"] = None
         return state
+
+    def _propagate_stats(self, stats) -> None:
+        # Report kernel-generation counters to the first recorder that
+        # attaches, then drop them: re-attachment (or attaching a fresh
+        # recorder after a pickle round-trip) must not double-count
+        # compilations that happened once.
+        info = self._codegen_info
+        if stats is not None and info is not None:
+            stats.record_codegen(
+                info["kernels"],
+                info["time_ms"],
+                info["cache_hits"],
+                info["fallbacks"],
+            )
+            self._codegen_info = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -274,9 +342,17 @@ class ViewTreeEngine(Observable):
         plans = self._plans.get(update.relation) if self.compiled else None
         if plans is not None:
             stats = self._maintenance_stats
-            for (_atom, _node, leaf), plan in zip(anchors, plans):
+            kernels = self._kernels.get(update.relation)
+            if kernels is None:
+                kernels = (None,) * len(plans)
+            for (_atom, _node, leaf), plan, kernel in zip(
+                anchors, plans, kernels
+            ):
                 leaf.add(update.key, update.payload)
-                plan.push(update.key, update.payload, stats)
+                if kernel is not None:
+                    kernel.push(update.key, update.payload, stats)
+                else:
+                    plan.push(update.key, update.payload, stats)
         else:
             for atom, node, leaf in anchors:
                 delta = Relation(f"d_{atom}", leaf.schema, self.ring)
@@ -357,8 +433,43 @@ class ViewTreeEngine(Observable):
         later anchors of the same relation see the earlier leaves'
         post-batch state, matching the per-tuple interleaving's sum).
         """
-        grouped = coalesce_grouped(batch, self.ring)
         stats = self._maintenance_stats
+        if self._kernels:
+            # Columnar twin of the dict path below: coalesce straight
+            # into parallel key/payload lists and feed the generated
+            # batch kernels; anchors whose kernel fell back to the
+            # interpreted plan get the dict view built on demand.
+            grouped_columnar = coalesce_columnar(batch, self.ring)
+            if stats is not None:
+                stats.record_batch_coalesce(
+                    len(batch),
+                    sum(len(keys) for keys, _ in grouped_columnar.values()),
+                )
+            database = self.database
+            for name, (keys, pays) in grouped_columnar.items():
+                if update_base and name in database:
+                    database[name].add_delta(zip(keys, pays))
+                plans = self._plans.get(name)
+                if not plans:
+                    continue
+                kernels = self._kernels.get(name)
+                if kernels is None:
+                    kernels = (None,) * len(plans)
+                deltas = None
+                for (_atom, _node, leaf), plan, kernel in zip(
+                    self._anchors[name], plans, kernels
+                ):
+                    leaf.add_delta(zip(keys, pays))
+                    if kernel is not None:
+                        kernel.push_batch(keys, pays, stats)
+                    else:
+                        if deltas is None:
+                            deltas = dict(zip(keys, pays))
+                        plan.push_batch(deltas, stats)
+            if stats is not None:
+                self._maybe_sample_views(len(batch))
+            return
+        grouped = coalesce_grouped(batch, self.ring)
         if stats is not None:
             stats.record_batch_coalesce(
                 len(batch), sum(len(deltas) for deltas in grouped.values())
@@ -601,6 +712,9 @@ class ViewTreeEngine(Observable):
         :class:`EpochSnapshot` instead of the live relations (the
         snapshot-read path).
         """
+        kernel = self._enum_kernel
+        if kernel is not None:
+            return kernel.iterate(prebound, stats, epoch=epoch)
         plan = self._enum_plan
         if plan is not None:
             return plan.iterate(prebound, stats, epoch=epoch)

@@ -87,6 +87,7 @@ class EagerFact(MaintenanceStrategy):
         lifting: LiftingMap | None = None,
         compile_plans: bool = True,
         compile_enum: bool = True,
+        codegen: bool = True,
     ):
         self.engine = ViewTreeEngine(
             query,
@@ -95,6 +96,7 @@ class EagerFact(MaintenanceStrategy):
             lifting,
             compile_plans=compile_plans,
             compile_enum=compile_enum,
+            codegen=codegen,
         )
 
     def _propagate_stats(self, stats) -> None:
@@ -187,15 +189,19 @@ class LazyFact(MaintenanceStrategy):
         order: VariableOrder | None = None,
         lifting: LiftingMap | None = None,
         compile_enum: bool = True,
+        codegen: bool = True,
     ):
         self.query = query
         self.database = database
         self.order = order
         self.lifting = lifting
         self.compile_enum = compile_enum
+        self.codegen = codegen
         # Lazy rebuilds never propagate deltas, so compiling per-anchor
         # delta plans on every rebuild would be pure overhead.  The
         # enumeration plan, by contrast, is what serves the request.
+        # Enum codegen rides along: rebuilds hit the process-wide shape
+        # cache, so only the first rebuild pays generation time.
         self._engine = ViewTreeEngine(
             query,
             database,
@@ -203,6 +209,7 @@ class LazyFact(MaintenanceStrategy):
             lifting,
             compile_plans=False,
             compile_enum=compile_enum,
+            codegen=codegen,
         )
         self._dirty = False
 
@@ -225,6 +232,7 @@ class LazyFact(MaintenanceStrategy):
                 self.lifting,
                 compile_plans=False,
                 compile_enum=self.compile_enum,
+                codegen=self.codegen,
             )
             # The rebuilt tree inherits the attached recorder, if any.
             self._engine._maintenance_stats = self._maintenance_stats
@@ -250,4 +258,7 @@ def make_strategy(
     if factory is EagerList or factory is LazyList:
         kwargs.pop("order", None)
         kwargs.pop("compile_enum", None)
+        kwargs.pop("codegen", None)
+    if factory is LazyFact:
+        kwargs.pop("compile_plans", None)
     return factory(query, database, **kwargs)

@@ -1,0 +1,503 @@
+"""Generated source kernels (repro.viewtree.codegen).
+
+The codegen layer must be *semantically invisible*: for any valid update
+stream, any ring (exact-zero and tolerance/structural alike), any
+strategy, and any shard executor, an engine running generated kernels
+produces bit-identical views, enumerations, and operation counters to
+the same engine running the interpreted plans — which are themselves
+differential-tested against naive recomputation.  Plus the satellites:
+the plan-shape cache must key on ring identity (never on relation or
+anchor names), kernels must survive pickling through process-pool
+shards, `explain --kernel-source` must be deterministic, the columnar
+coalescer must match `coalesce_grouped` exactly (numpy path included),
+and the `repro.obs/1` payload must carry the codegen block.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.data import Database, Update
+from repro.data.columnar import NUMPY_MIN_BATCH, coalesce_columnar
+from repro.data.update import coalesce_grouped
+from repro.obs import MaintenanceStats
+from repro.query import parse_query
+from repro.rings import (
+    B,
+    MIN_PLUS,
+    PROVENANCE,
+    CovarianceRing,
+    LiftingMap,
+    ProductRing,
+    R,
+    Z,
+    moment_lifting,
+)
+from repro.rings.standard import FloatRing, IntegerRing
+from repro.shard import ShardedEngine
+from repro.viewtree import ViewTreeEngine, make_strategy
+from repro.viewtree.codegen import (
+    clear_shape_cache,
+    compile_delta_kernel,
+    compile_enum_kernel,
+    new_codegen_info,
+    ring_identity,
+    shape_cache_size,
+)
+
+from tests.conftest import valid_stream
+
+
+def seeded_db(schemas, rng, rows=60, domain=8, ring=Z):
+    db = Database(ring=ring)
+    for name, schema in schemas:
+        relation = db.create(name, schema)
+        for _ in range(rows):
+            key = tuple(rng.randrange(domain) for _ in schema)
+            relation.add(key, ring.one)
+    return db
+
+
+def twin_engines(query, schemas, seed, ring=Z, lifting=None, order=None):
+    """A codegen engine and an interpreted engine, identically seeded."""
+    generated = ViewTreeEngine(
+        query, seeded_db(schemas, random.Random(seed), ring=ring),
+        order, lifting, codegen=True,
+    )
+    interpreted = ViewTreeEngine(
+        query, seeded_db(schemas, random.Random(seed), ring=ring),
+        order, lifting, codegen=False,
+    )
+    assert generated.codegen and not interpreted.codegen
+    return generated, interpreted
+
+
+def ring_stream(rng, schemas, ring, count, deletes, domain=8):
+    """A valid stream with ring-one payloads (negated for deletes)."""
+    arities = {name: len(schema) for name, schema in schemas}
+    stream = []
+    for update in valid_stream(
+        rng, arities, count, domain=domain,
+        delete_prob=0.25 if deletes else 0.0,
+    ):
+        payload = ring.one if update.payload > 0 else ring.neg(ring.one)
+        stream.append(Update(update.relation, update.key, payload))
+    return stream
+
+
+def assert_twins_agree(generated, interpreted, query):
+    if query.head:
+        assert list(generated.enumerate()) == list(interpreted.enumerate())
+    else:
+        assert generated.scalar() == interpreted.scalar()
+    assert (
+        generated.output_relation().to_dict()
+        == interpreted.output_relation().to_dict()
+    )
+
+
+QUERIES = [
+    # q-hierarchical: scalar straight-line push + compiled enumeration.
+    ("Q(Y, X, Z) = R(Y, X) * S(Y, Z)",
+     [("R", ("Y", "X")), ("S", ("Y", "Z"))]),
+    # Three-relation chain with a non-leading anchor variable.
+    ("Q(A, B) = R(A, B) * S(B, C) * T(B)",
+     [("R", ("A", "B")), ("S", ("B", "C")), ("T", ("B",))]),
+    # Self-join: two anchors per relation, leaf updated between pushes.
+    ("Q(A, B, C) = E(A, B) * E(B, C)", [("E", ("A", "B"))]),
+    # Boolean triangle count: full-marginalization CROSS/INDEXED steps.
+    ("Q() = R(A,B) * S(B,C) * T(C,A)",
+     [("R", ("A", "B")), ("S", ("B", "C")), ("T", ("C", "A"))]),
+    # Single atom: no sibling joins at the anchor step.
+    ("Q(A, B) = R(A, B)", [("R", ("A", "B"))]),
+]
+
+
+class TestDifferentialFuzz:
+    @pytest.mark.parametrize("text,schemas", QUERIES)
+    def test_mixed_stream_bit_identical(self, text, schemas):
+        query = parse_query(text)
+        generated, interpreted = twin_engines(query, schemas, seed=17)
+        stream = ring_stream(random.Random(23), schemas, Z, 600, True)
+        s_gen = generated.attach_stats()
+        s_int = interpreted.attach_stats()
+        # Interleave per-tuple pushes with batches of several sizes so
+        # both the scalar push and the columnar push_batch paths run.
+        cursor = 0
+        for size in (1, 1, 7, 64, 128, 1, 200):
+            chunk = stream[cursor:cursor + size]
+            cursor += size
+            if size == 1:
+                for update in chunk:
+                    generated.apply(update)
+                    interpreted.apply(update)
+            else:
+                generated.apply_batch(chunk)
+                interpreted.apply_batch(chunk)
+        rest = stream[cursor:]
+        generated.apply_batch(rest)
+        interpreted.apply_batch(rest)
+        assert_twins_agree(generated, interpreted, query)
+        d_gen, d_int = s_gen.to_dict(), s_int.to_dict()
+        # Operation accounting is part of bit-identity: same lookups,
+        # matches, writes, probe sharing, and per-view delta sizes.
+        for key in ("ops", "batch", "delta_sizes", "enumeration"):
+            assert d_gen[key] == d_int[key], key
+        assert d_gen["codegen"]["kernels_generated"] > 0
+        assert d_int["codegen"]["kernels_generated"] == 0
+
+    @pytest.mark.parametrize(
+        "ring,deletes",
+        [(Z, True), (R, True), (B, False), (MIN_PLUS, False),
+         (PROVENANCE, False), (ProductRing(IntegerRing(), FloatRing()), True)],
+        ids=["int", "float", "boolean", "min-plus", "provenance", "product"],
+    )
+    def test_ring_matrix(self, ring, deletes):
+        # Non-exact-zero rings (R tolerance, PROVENANCE structural,
+        # product-of-mixed) force the generated is_zero() paths; exotic
+        # add/mul (min-plus) forces the method-call fallback over the
+        # inlined operators.
+        query = parse_query("Q(A, B) = R(A, B) * S(B, C) * T(B)")
+        schemas = [("R", ("A", "B")), ("S", ("B", "C")), ("T", ("B",))]
+        generated, interpreted = twin_engines(query, schemas, seed=29, ring=ring)
+        stream = ring_stream(random.Random(31), schemas, ring, 300, deletes)
+        for update in stream[:100]:
+            generated.apply(update)
+            interpreted.apply(update)
+        generated.apply_batch(stream[100:])
+        interpreted.apply_batch(stream[100:])
+        assert_twins_agree(generated, interpreted, query)
+
+    def test_analytics_ring_with_lifting(self):
+        ring = CovarianceRing()
+        query = parse_query("Q(A) = R(A, V) * S(A)")
+        lifting = LiftingMap(ring, {"V": moment_lifting("V")})
+        schemas = [("R", ("A", "V")), ("S", ("A",))]
+        generated, interpreted = twin_engines(
+            query, schemas, seed=37, ring=ring, lifting=lifting
+        )
+        rng = random.Random(41)
+        live = []
+        stream = []
+        for _ in range(250):
+            if rng.random() < 0.6:
+                if live and rng.random() < 0.3:
+                    stream.append(
+                        Update("R", live.pop(rng.randrange(len(live))),
+                               ring.neg(ring.one))
+                    )
+                else:
+                    key = (rng.randrange(5), rng.randrange(1, 9))
+                    live.append(key)
+                    stream.append(Update("R", key, ring.one))
+            else:
+                stream.append(
+                    Update(
+                        "S", (rng.randrange(5),),
+                        ring.one if rng.random() < 0.75 else ring.neg(ring.one),
+                    )
+                )
+        for update in stream[:80]:
+            generated.apply(update)
+            interpreted.apply(update)
+        generated.apply_batch(stream[80:])
+        interpreted.apply_batch(stream[80:])
+        assert_twins_agree(generated, interpreted, query)
+
+    @pytest.mark.parametrize("text,schemas", QUERIES[:2])
+    def test_prebound_enumeration_identical(self, text, schemas):
+        query = parse_query(text)
+        generated, interpreted = twin_engines(query, schemas, seed=43)
+        for update in ring_stream(random.Random(47), schemas, Z, 300, True):
+            generated.apply(update)
+            interpreted.apply(update)
+        head = query.head
+        for value in range(-1, 9):  # -1: guaranteed miss
+            one = {head[0]: value}
+            assert list(generated.enumerate(prebound=one)) == list(
+                interpreted.enumerate(prebound=one)
+            )
+            everything = {v: (value + i) % 8 for i, v in enumerate(head)}
+            assert list(generated.enumerate(prebound=everything)) == list(
+                interpreted.enumerate(prebound=everything)
+            )
+
+    def test_snapshot_reads_identical(self):
+        query = parse_query("Q(Y, X, Z) = R(Y, X) * S(Y, Z)")
+        schemas = [("R", ("Y", "X")), ("S", ("Y", "Z"))]
+        generated, interpreted = twin_engines(query, schemas, seed=53)
+        stream = ring_stream(random.Random(59), schemas, Z, 400, True)
+        for update in stream[:200]:
+            generated.apply(update)
+            interpreted.apply(update)
+        generated.publish_epoch()
+        interpreted.publish_epoch()
+        # Mutate past the epoch: snapshot reads must see the frozen
+        # state, live reads the current one — under generated kernels
+        # exactly as under interpreted plans.
+        generated.apply_batch(stream[200:])
+        interpreted.apply_batch(stream[200:])
+        assert list(generated.enumerate_snapshot()) == list(
+            interpreted.enumerate_snapshot()
+        )
+        assert list(generated.enumerate()) == list(interpreted.enumerate())
+
+
+class TestStrategies:
+    @pytest.mark.parametrize(
+        "name", ["eager-fact", "eager-list", "lazy-list", "lazy-fact"]
+    )
+    def test_strategy_parity(self, name):
+        query = parse_query("Q(B, A) = R(B, A) * S(B)")
+        schemas = [("R", ("B", "A")), ("S", ("B",))]
+        with_codegen = make_strategy(
+            name, query, seeded_db(schemas, random.Random(61)), codegen=True
+        )
+        without = make_strategy(
+            name, query, seeded_db(schemas, random.Random(61)), codegen=False
+        )
+        for update in ring_stream(random.Random(67), schemas, Z, 200, True):
+            with_codegen.apply(update)
+            without.apply(update)
+        assert sorted(with_codegen.enumerate()) == sorted(without.enumerate())
+
+
+class TestSharded:
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_executor_parity(self, executor):
+        query = parse_query("Q(B, A) = R(B, A) * S(B)")
+
+        def fresh():
+            db = Database()
+            db.create("R", ("B", "A"))
+            db.create("S", ("B",))
+            rng = random.Random(71)
+            for _ in range(20):
+                db["R"].insert(rng.randrange(8), rng.randrange(8))
+                db["S"].insert(rng.randrange(8))
+            return db
+
+        stream = valid_stream(random.Random(73), {"R": 2, "S": 1}, 150)
+        count = 60 if executor == "process" else 150
+        with ShardedEngine(
+            query, fresh(), shards=2, executor=executor, codegen=True
+        ) as generated, ShardedEngine(
+            query, fresh(), shards=2, executor=executor, codegen=False
+        ) as interpreted:
+            assert generated.codegen and not interpreted.codegen
+            generated.apply_batch(stream[:count])
+            interpreted.apply_batch(stream[:count])
+            generated.apply(Update("R", (1, 1), 1))
+            interpreted.apply(Update("R", (1, 1), 1))
+            assert dict(generated.enumerate()) == dict(interpreted.enumerate())
+
+
+class TestPickling:
+    def test_engine_round_trip_keeps_kernels(self):
+        query = parse_query("Q(Y, X, Z) = R(Y, X) * S(Y, Z)")
+        schemas = [("R", ("Y", "X")), ("S", ("Y", "Z"))]
+        generated, interpreted = twin_engines(query, schemas, seed=79)
+        stream = ring_stream(random.Random(83), schemas, Z, 300, True)
+        for update in stream[:150]:
+            generated.apply(update)
+            interpreted.apply(update)
+        clone = pickle.loads(pickle.dumps(generated))
+        assert clone.codegen
+        assert clone._enum_kernel is not None
+        for update in stream[150:]:
+            clone.apply(update)
+            interpreted.apply(update)
+        assert list(clone.enumerate()) == list(interpreted.enumerate())
+
+    def test_kernel_reduce_regenerates_identical_source(self):
+        query = parse_query("Q(Y, X, Z) = R(Y, X) * S(Y, Z)")
+        schemas = [("R", ("Y", "X")), ("S", ("Y", "Z"))]
+        engine, _ = twin_engines(query, schemas, seed=89)
+        kernel = engine._kernels["R"][0]
+        clone = pickle.loads(pickle.dumps(kernel))
+        assert clone.source == kernel.source
+        enum_clone = pickle.loads(pickle.dumps(engine._enum_kernel))
+        assert enum_clone.source == engine._enum_kernel.source
+
+
+class TestShapeCache:
+    def test_same_shape_across_engines_compiles_once(self):
+        clear_shape_cache()
+        query = parse_query("Q(Y, X, Z) = R(Y, X) * S(Y, Z)")
+        schemas = [("R", ("Y", "X")), ("S", ("Y", "Z"))]
+        first, _ = twin_engines(query, schemas, seed=97)
+        size_after_first = shape_cache_size()
+        second, _ = twin_engines(query, schemas, seed=101)
+        assert shape_cache_size() == size_after_first
+        info = second._codegen_info
+        assert info is not None and info["cache_hits"] == info["kernels"]
+
+    def test_cache_keys_on_ring_identity_not_names(self):
+        # Two engines over the SAME query and relation names but
+        # different rings must never share generated code: the float
+        # ring's tolerance zero test and the integer ring's exact test
+        # compile to different source.
+        clear_shape_cache()
+        query = parse_query("Q(Y, X, Z) = R(Y, X) * S(Y, Z)")
+        schemas = [("R", ("Y", "X")), ("S", ("Y", "Z"))]
+        with_int, _ = twin_engines(query, schemas, seed=103, ring=Z)
+        size_int = shape_cache_size()
+        with_float, _ = twin_engines(query, schemas, seed=103, ring=R)
+        assert shape_cache_size() > size_int
+        assert (
+            with_int._kernels["R"][0].source
+            != with_float._kernels["R"][0].source
+        )
+
+    def test_ring_identity_separates_instance_state(self):
+        assert ring_identity(Z) == ring_identity(IntegerRing())
+        assert ring_identity(FloatRing()) == ring_identity(R)
+        assert ring_identity(FloatRing(1e-6)) != ring_identity(R)
+        assert ring_identity(Z) != ring_identity(R)
+        assert ring_identity(
+            ProductRing(IntegerRing(), IntegerRing())
+        ) != ring_identity(ProductRing(IntegerRing(), FloatRing()))
+
+    def test_fallback_counter_on_uncompilable_plan(self):
+        # A plan object missing required attributes must fall back to the
+        # interpreter and be counted, never crash engine construction.
+        info = new_codegen_info()
+        with pytest.raises(Exception):
+            compile_delta_kernel(object(), info)
+        with pytest.raises(Exception):
+            compile_enum_kernel(object(), info)
+
+
+class TestExplainCLI:
+    def test_kernel_source_deterministic(self, capsys):
+        args = [
+            "explain", "Q(Y, X, Z) = R(Y, X) * S(Y, Z)", "--kernel-source"
+        ]
+        assert cli_main(args) == 0
+        first = capsys.readouterr().out
+        assert cli_main(args) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert "-- delta kernel R[0] --" in first
+        assert "-- delta kernel S[0] --" in first
+        assert "-- enum kernel --" in first
+        assert "def push(" in first
+        assert "def push_batch(" in first
+        assert "def iterate(" in first
+
+    def test_plan_without_codegen_says_so(self, capsys):
+        assert cli_main(
+            ["explain", "Q() = R(A,B) * S(B,C) * T(C,A)", "--insert-only",
+             "--kernel-source"]
+        ) == 0
+        out = capsys.readouterr().out
+        # Triangle count routes to IVM^eps: no codegen in that plan.
+        assert "no generated kernels" in out
+
+
+class TestObsBlock:
+    def test_codegen_block_and_render(self):
+        query = parse_query("Q(Y, X, Z) = R(Y, X) * S(Y, Z)")
+        schemas = [("R", ("Y", "X")), ("S", ("Y", "Z"))]
+        engine, _ = twin_engines(query, schemas, seed=107)
+        stats = engine.attach_stats()
+        payload = stats.to_dict()["codegen"]
+        assert payload["kernels_generated"] == 3  # 2 delta + 1 enum
+        assert payload["codegen_time_ms"] >= 0.0
+        assert payload["fallbacks"] == 0
+        assert "codegen:" in stats.render()
+
+    def test_reattach_does_not_double_count(self):
+        query = parse_query("Q(Y, X, Z) = R(Y, X) * S(Y, Z)")
+        schemas = [("R", ("Y", "X")), ("S", ("Y", "Z"))]
+        engine, _ = twin_engines(query, schemas, seed=109)
+        first = engine.attach_stats()
+        generated = first.to_dict()["codegen"]["kernels_generated"]
+        assert generated > 0
+        engine.detach_stats()
+        second = engine.attach_stats()
+        assert second.to_dict()["codegen"]["kernels_generated"] == 0
+
+    def test_shard_merge_rolls_up_codegen(self):
+        query = parse_query("Q(B, A) = R(B, A) * S(B)")
+        db = Database()
+        db.create("R", ("B", "A"))
+        db.create("S", ("B",))
+        with ShardedEngine(query, db, shards=2, executor="serial") as engine:
+            engine.apply_batch(
+                valid_stream(random.Random(113), {"R": 2, "S": 1}, 80)
+            )
+            merged = engine.merged_stats()
+        payload = merged.to_dict()["codegen"]
+        assert payload["kernels_generated"] > 0
+        for summary in merged.to_dict()["shards"].values():
+            assert "kernels_generated" in summary
+
+    def test_merges_add_codegen_counts(self):
+        shard = MaintenanceStats()
+        shard.record_codegen(3, 1.5, 2, 1)
+        left = MaintenanceStats()
+        right = MaintenanceStats()
+        left.merge(shard, label="shard0")
+        right.merge(shard, label="shard0")
+        assert left.kernels_generated == 3
+        # Unlabelled coordinator-level merge: same-label summaries add
+        # their count keys, top-level codegen totals add too.
+        left.merge(right)
+        assert left.kernels_generated == 6
+        assert left.codegen_time_ms == 3.0
+        assert left.shard_summaries["shard0"]["kernels_generated"] == 6
+        assert left.shard_summaries["shard0"]["codegen_fallbacks"] == 2
+
+
+class TestColumnarCoalesce:
+    def make_batch(self, rng, count, payload):
+        batch = []
+        for _ in range(count):
+            name = rng.choice(["R", "S"])
+            key = (rng.randrange(6), rng.randrange(6))
+            batch.append(Update(name, key, payload(rng)))
+        return batch
+
+    def assert_matches_grouped(self, batch, ring):
+        columnar = coalesce_columnar(batch, ring)
+        grouped = coalesce_grouped(batch, ring)
+        assert list(columnar) == list(grouped)  # relation order
+        for name, (keys, payloads) in columnar.items():
+            assert keys == list(grouped[name])  # key order
+            assert payloads == list(grouped[name].values())  # bit-identity
+
+    def test_pure_python_path_matches_grouped(self):
+        rng = random.Random(127)
+        batch = self.make_batch(rng, 40, lambda r: r.choice([1, 2, -1]))
+        self.assert_matches_grouped(batch, Z)
+
+    def test_numpy_path_matches_grouped(self):
+        rng = random.Random(131)
+        batch = self.make_batch(
+            rng, max(NUMPY_MIN_BATCH * 4, 300),
+            lambda r: r.choice([0.5, 1.25, -0.5, -1.25, 3.0]),
+        )
+        assert len(batch) >= NUMPY_MIN_BATCH
+        self.assert_matches_grouped(batch, R)
+
+    def test_numpy_path_cancellation_filtered(self):
+        # Keys whose payloads sum to (tolerance-band) zero must be
+        # dropped by both paths.
+        batch = []
+        for i in range(NUMPY_MIN_BATCH):
+            batch.append(Update("R", (i % 4, 0), 1.5))
+            batch.append(Update("R", (i % 4, 0), -1.5))
+        batch.append(Update("R", (9, 9), 2.0))
+        columnar = coalesce_columnar(batch, R)
+        assert columnar == {"R": ([(9, 9)], [2.0])}
+
+    def test_small_numeric_batch_uses_python_path(self):
+        batch = [Update("R", (1, 2), 0.5)] * (NUMPY_MIN_BATCH - 1)
+        assert coalesce_columnar(batch, R) == {
+            "R": ([(1, 2)], [0.5 * (NUMPY_MIN_BATCH - 1)])
+        }
