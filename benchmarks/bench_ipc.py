@@ -1,0 +1,201 @@
+"""Shard IPC: delta-only worker protocol vs ship-the-engine pickling.
+
+The point of the persistent shard workers (``repro.shard.worker``): with
+``executor="process"`` the per-commit cost must scale with the *batch*,
+not with the accumulated view state.  The old path
+(``ipc="pickle-engine"``, kept as the differential oracle) pickles each
+shard's entire engine through the process pool every batch, so its
+per-commit time grows linearly with resident state; the delta protocol
+ships only the coalesced sub-batch out and a stats delta back, so its
+per-commit time — and its bytes on the pipe — stay flat.
+
+Method: grow the resident view state with batches of disjoint keys,
+then time identical fixed-size probe batches at small state and after
+growing state 10x.  Gates (the issue's acceptance criteria):
+
+* delta per-commit time at 10x state within 1.3x of small-state time;
+* pickle-engine per-commit time degraded by >= 5x over the same growth;
+* delta bytes-per-commit flat across the growth (batch-only scaling).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench import Table
+from repro.data import Database, Update
+from repro.query import parse_query
+from repro.shard import ShardedEngine
+
+from _util import report
+
+QUERY = parse_query("Q(B, A) = R(B, A) * S(B)")
+SHARDS = 2
+BATCH = 200  # updates per probe commit, fixed throughout
+PROBES = 7  # timed commits per state level (min taken: noise-robust)
+STATE_SMALL = 2_000  # resident R+S rows at the "small" level
+GROWTH = 10  # state multiplier between the two levels
+FILLER_BATCH = 2_000
+
+#: Gates from the issue's acceptance criteria.
+DELTA_FLAT_BOUND = 1.3
+PICKLE_DEGRADATION_FLOOR = 5.0
+BYTES_FLAT_BOUND = 1.5
+
+
+class _Keys:
+    """Disjoint key ranges: state only ever grows, probes never join
+    against filler state, so per-probe maintenance work is constant."""
+
+    def __init__(self):
+        self.next = 0
+
+    def take(self, count: int) -> int:
+        start = self.next
+        self.next += count
+        return start
+
+
+def _fresh_db() -> Database:
+    db = Database()
+    db.create("R", ("B", "A"))
+    db.create("S", ("B",))
+    return db
+
+
+def _filler(keys: _Keys, rows: int) -> list[Update]:
+    start = keys.take(rows)
+    batch = []
+    for i in range(start, start + rows):
+        batch.append(Update("R", (i, i), 1))
+        batch.append(Update("S", (i,), 1))
+    return batch
+
+
+def _probe(keys: _Keys) -> list[Update]:
+    start = keys.take(BATCH // 2)
+    batch = []
+    for i in range(start, start + BATCH // 2):
+        batch.append(Update("R", (i, i), 1))
+        batch.append(Update("S", (i,), 1))
+    return batch
+
+
+def _grow(engine, keys: _Keys, rows: int) -> None:
+    for _ in range(rows // FILLER_BATCH):
+        engine.apply_batch(_filler(keys, FILLER_BATCH))
+
+
+def _ipc_bytes(stats) -> int:
+    if stats is None:
+        return 0
+    return stats.ipc_bytes_sent + stats.ipc_bytes_received
+
+
+def _time_probes(engine, keys: _Keys, stats=None):
+    """Min per-commit seconds over PROBES probe batches (plus the pipe
+    bytes each probe commit moved, when ``stats`` is the recorder)."""
+    best = float("inf")
+    bytes_per_commit = []
+    for _ in range(PROBES):
+        batch = _probe(keys)
+        before = _ipc_bytes(stats)
+        started = time.perf_counter()
+        engine.apply_batch(batch)
+        best = min(best, time.perf_counter() - started)
+        if stats is not None:
+            bytes_per_commit.append(_ipc_bytes(stats) - before)
+    return best, bytes_per_commit
+
+
+def _measure(ipc: str):
+    keys = _Keys()
+    with ShardedEngine(
+        QUERY, _fresh_db(), shards=SHARDS, executor="process", ipc=ipc
+    ) as engine:
+        stats = engine.attach_stats() if ipc == "delta" else None
+        _grow(engine, keys, STATE_SMALL)
+        engine.apply_batch(_probe(keys))  # warmup: pool spawn, kernels
+        small_s, small_bytes = _time_probes(engine, keys, stats)
+        _grow(engine, keys, STATE_SMALL * (GROWTH - 1))
+        grown_s, grown_bytes = _time_probes(engine, keys, stats)
+        state = engine.total_view_size()
+    return {
+        "small_s": small_s,
+        "grown_s": grown_s,
+        "ratio": grown_s / small_s,
+        "bytes": small_bytes + grown_bytes,
+        "state": state,
+    }
+
+
+def bench_ipc(benchmark):
+    benchmark.pedantic(_ipc_table, rounds=1, iterations=1)
+
+
+def _ipc_table():
+    delta = _measure("delta")
+    pickle_engine = _measure("pickle-engine")
+
+    table = Table(
+        "process-executor per-commit cost vs resident view state "
+        f"(batch fixed at {BATCH} updates)",
+        [
+            "ipc mode",
+            f"small state ({STATE_SMALL:,} rows) ms",
+            f"grown state ({STATE_SMALL * GROWTH:,} rows) ms",
+            "grown/small",
+        ],
+    )
+    for name, row in (("delta", delta), ("pickle-engine", pickle_engine)):
+        table.add(
+            name,
+            f"{row['small_s'] * 1e3:,.2f}",
+            f"{row['grown_s'] * 1e3:,.2f}",
+            f"{row['ratio']:.2f}x",
+        )
+
+    wire = Table(
+        "delta protocol bytes per probe commit (both state levels)",
+        ["probe", "bytes"],
+    )
+    for index, count in enumerate(delta["bytes"]):
+        level = "small" if index < PROBES else "grown"
+        wire.add(f"{level} #{index % PROBES}", f"{count:,}")
+
+    report(
+        table,
+        "ipc.txt",
+        extra_tables=[wire],
+        meta={
+            "query": str(QUERY),
+            "shards": SHARDS,
+            "batch": BATCH,
+            "probes": PROBES,
+            "state_small": STATE_SMALL,
+            "growth": GROWTH,
+            "delta_flat_bound": DELTA_FLAT_BOUND,
+            "pickle_degradation_floor": PICKLE_DEGRADATION_FLOOR,
+            "bytes_flat_bound": BYTES_FLAT_BOUND,
+        },
+    )
+
+    # Gate 1: the delta protocol's per-commit time is flat in state.
+    assert delta["ratio"] <= DELTA_FLAT_BOUND, (
+        f"delta per-commit time grew {delta['ratio']:.2f}x with state "
+        f"(bound {DELTA_FLAT_BOUND}x)"
+    )
+    # Gate 2: the old path demonstrably degrades with state (if it ever
+    # stops degrading, the oracle comparison below has lost its point).
+    assert pickle_engine["ratio"] >= PICKLE_DEGRADATION_FLOOR, (
+        f"pickle-engine per-commit time grew only "
+        f"{pickle_engine['ratio']:.2f}x; expected >= "
+        f"{PICKLE_DEGRADATION_FLOOR}x — did the oracle path change?"
+    )
+    # Gate 3: bytes per commit scale with the batch only.
+    low, high = min(delta["bytes"]), max(delta["bytes"])
+    assert high <= BYTES_FLAT_BOUND * low, (
+        f"delta bytes per commit ranged {low:,}..{high:,} across a "
+        f"{GROWTH}x state growth (bound {BYTES_FLAT_BOUND}x)"
+    )
+    assert delta["state"] == pickle_engine["state"]  # same workload

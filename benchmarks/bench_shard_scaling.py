@@ -18,6 +18,12 @@ the extent the interpreter releases the GIL, so treat these numbers as
 an upper bound on coordination cost rather than a parallelism win — the
 load-balance table is the interesting output.  A final differential
 check asserts every configuration produced the bit-identical output.
+
+The process executor (persistent delta-IPC workers, ``repro.shard
+.worker``) rides along in its own rows, plus a state-growth table that
+gates the whole point of the worker redesign: per-commit time must stay
+flat as resident view state grows (the old ship-the-engine path
+regressed linearly in state — see ``bench_ipc`` for the head-to-head).
 """
 
 from __future__ import annotations
@@ -44,6 +50,12 @@ SHARD_COUNTS = (1, 2, 4)
 EXECUTOR = "thread"
 WORKLOADS = ("uniform", "zipf")
 ZIPF_S = 1.2
+PROCESS_SHARD_COUNTS = (2, 4)
+#: State-growth gate: per-commit time at ~5x resident state must stay
+#: within this factor of the small-state time (process/delta workers).
+GROWTH_FLAT_BOUND = 1.3
+GROWTH_BATCH = 250
+GROWTH_PROBES = 5
 
 
 def _sampler(rng, workload):
@@ -93,6 +105,62 @@ def _replay(engine, stream):
     return len(stream) / (time.perf_counter() - start)
 
 
+def _state_growth_table():
+    """Process-executor throughput vs resident state (the tentpole gate).
+
+    Disjoint-key batches grow the resident views between two probe
+    levels; identical fixed-size probe batches are timed at each level
+    (min over GROWTH_PROBES, noise-robust).  Under the persistent
+    delta-IPC workers the per-commit time stays flat; the old
+    pickle-engine path regressed linearly in state.
+    """
+    from repro.data import Update
+
+    table = Table(
+        "process/delta per-commit time vs resident state "
+        f"(batch fixed at {GROWTH_BATCH} updates, 4 shards)",
+        ["state (rows)", "per-commit ms", "upd/s"],
+    )
+    next_key = 0
+
+    def batch(rows):
+        nonlocal next_key
+        start, next_key = next_key, next_key + rows
+        out = []
+        for i in range(start, start + rows):
+            out.append(Update("R", (i, i), 1))
+            out.append(Update("S", (i,), 1))
+        return out
+
+    def probe_level(engine):
+        best = float("inf")
+        for _ in range(GROWTH_PROBES):
+            probe = batch(GROWTH_BATCH // 2)
+            started = time.perf_counter()
+            engine.apply_batch(probe)
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    db = Database()
+    db.create("R", ("B", "A"))
+    db.create("S", ("B",))
+    with ShardedEngine(QUERY, db, shards=4, executor="process") as engine:
+        engine.apply_batch(batch(2_000))
+        engine.apply_batch(batch(GROWTH_BATCH // 2))  # warmup: pool spawn
+        small = probe_level(engine)
+        table.add(f"{engine.total_view_size():,}", f"{small * 1e3:,.2f}",
+                  f"{GROWTH_BATCH / small:,.0f}")
+        engine.apply_batch(batch(8_000))
+        grown = probe_level(engine)
+        table.add(f"{engine.total_view_size():,}", f"{grown * 1e3:,.2f}",
+                  f"{GROWTH_BATCH / grown:,.0f}")
+    assert grown <= GROWTH_FLAT_BOUND * small, (
+        f"process-executor per-commit time regressed {grown / small:.2f}x "
+        f"as view state grew (bound {GROWTH_FLAT_BOUND}x)"
+    )
+    return table
+
+
 def bench_shard_scaling(benchmark):
     benchmark.pedantic(_scaling_table, rounds=1, iterations=1)
 
@@ -136,11 +204,24 @@ def _scaling_table():
             balance.add(workload, str(shards), *[str(c) for c in counts])
         table.add(*row)
 
+    for shards in PROCESS_SHARD_COUNTS:
+        row = [f"{shards} shard(s), process/delta"]
+        for workload in WORKLOADS:
+            stream = _stream(workload, 7)
+            with ShardedEngine(
+                QUERY, _fresh_db(workload), shards=shards, executor="process"
+            ) as engine:
+                row.append(f"{_replay(engine, stream):,.0f}")
+                assert engine.output_relation().to_dict() == outputs[workload]
+        table.add(*row)
+
+    growth = _state_growth_table()
+
     report(
         table,
         "shard_scaling.txt",
         stats=merged_stats,
-        extra_tables=[balance],
+        extra_tables=[balance, growth],
         meta={
             "query": str(QUERY),
             "updates": UPDATES,
@@ -148,9 +229,11 @@ def _scaling_table():
             "prefill": PREFILL,
             "domain": DOMAIN,
             "shard_counts": list(SHARD_COUNTS),
+            "process_shard_counts": list(PROCESS_SHARD_COUNTS),
             "executor": EXECUTOR,
             "workloads": list(WORKLOADS),
             "zipf_s": ZIPF_S,
+            "growth_flat_bound": GROWTH_FLAT_BOUND,
         },
     )
 

@@ -159,6 +159,8 @@ def run_stats(
     enum_interval: int,
     json_path: str | None,
     shards: int = 1,
+    shard_executor: str = "thread",
+    shard_ipc: str = "delta",
     workload: str = "uniform",
     zipf_s: float = 1.2,
     compile_plans: bool = True,
@@ -225,6 +227,8 @@ def run_stats(
         insert_only,
         plan=plan,
         shards=shards,
+        shard_executor=shard_executor,
+        shard_ipc=shard_ipc,
         compile_plans=compile_plans,
         compile_enum=compile_enum,
         codegen=codegen,
@@ -356,6 +360,12 @@ def run_stats(
                 "rate_maintenance": rate_maintenance,
                 "rate_end_to_end": rate_end_to_end,
                 "shards": shards,
+                "shard_executor": shard_executor if shards > 1 else None,
+                "shard_ipc": (
+                    shard_ipc
+                    if shards > 1 and shard_executor == "process"
+                    else None
+                ),
                 "workload": workload,
                 "zipf_s": zipf_s if workload == "zipf" else None,
                 "window": window if workload == "sliding-window" else None,
@@ -453,6 +463,8 @@ def run_serve(
     high_water: int,
     json_path: str | None,
     shards: int = 1,
+    shard_executor: str = "thread",
+    shard_ipc: str = "delta",
     workload: str = "uniform",
     zipf_s: float = 1.2,
     window: int = 256,
@@ -505,7 +517,16 @@ def run_serve(
         return 1
 
     plan = plan_maintenance(query, fds, shards=shards, codegen=codegen)
-    engine = IVMEngine(query, db, fds, plan=plan, shards=shards, codegen=codegen)
+    engine = IVMEngine(
+        query,
+        db,
+        fds,
+        plan=plan,
+        shards=shards,
+        shard_executor=shard_executor,
+        shard_ipc=shard_ipc,
+        codegen=codegen,
+    )
     if per_update:
         max_batch, max_delay_ms = 1, 0.0
     server = AsyncIVMServer(
@@ -581,6 +602,12 @@ def run_serve(
                 "query": str(query),
                 "plan": plan.strategy,
                 "shards": shards,
+                "shard_executor": shard_executor if shards > 1 else None,
+                "shard_ipc": (
+                    shard_ipc
+                    if shards > 1 and shard_executor == "process"
+                    else None
+                ),
                 "workload": workload,
                 "zipf_s": zipf_s if workload == "zipf" else None,
                 "window": window if workload == "sliding-window" else None,
@@ -668,6 +695,21 @@ def main(argv: list[str] | None = None) -> int:
         "--shards", type=int, default=1,
         help="hash-partition view-tree maintenance across N shards "
         "(default 1 = unsharded)",
+    )
+    stats_parser.add_argument(
+        "--shard-executor",
+        choices=("serial", "thread", "process"),
+        default="thread",
+        help="shard executor: in-process serial/thread pools, or "
+        "persistent worker processes (default thread)",
+    )
+    stats_parser.add_argument(
+        "--ipc",
+        choices=("delta", "pickle-engine"),
+        default="delta",
+        help="process-executor wire protocol: delta-only persistent "
+        "workers, or the legacy ship-the-engine-per-batch oracle "
+        "(default delta)",
     )
     stats_parser.add_argument(
         "--workload",
@@ -767,6 +809,21 @@ def main(argv: list[str] | None = None) -> int:
         help="hash-partition maintenance across N shards (default 1)",
     )
     serve_parser.add_argument(
+        "--shard-executor",
+        choices=("serial", "thread", "process"),
+        default="thread",
+        help="shard executor: in-process serial/thread pools, or "
+        "persistent worker processes (default thread)",
+    )
+    serve_parser.add_argument(
+        "--ipc",
+        choices=("delta", "pickle-engine"),
+        default="delta",
+        help="process-executor wire protocol: delta-only persistent "
+        "workers, or the legacy ship-the-engine-per-batch oracle "
+        "(default delta)",
+    )
+    serve_parser.add_argument(
         "--workload",
         choices=("uniform", "zipf", "sliding-window"),
         default="uniform",
@@ -847,6 +904,8 @@ def main(argv: list[str] | None = None) -> int:
             args.enum_interval,
             args.json,
             args.shards,
+            args.shard_executor,
+            args.ipc,
             args.workload,
             args.zipf_s,
             compile_plans=not args.no_compile,
@@ -873,6 +932,8 @@ def main(argv: list[str] | None = None) -> int:
             args.high_water,
             args.json,
             args.shards,
+            args.shard_executor,
+            args.ipc,
             args.workload,
             args.zipf_s,
             args.window,

@@ -59,6 +59,7 @@ class IVMEngine(Observable):
         plan: Plan | None = None,
         shards: int = 1,
         shard_executor: str = "thread",
+        shard_ipc: str = "delta",
         compile_plans: bool = True,
         compile_enum: bool = True,
         codegen: bool = True,
@@ -95,6 +96,7 @@ class IVMEngine(Observable):
                     order=order,
                     lifting=lifting,
                     executor=shard_executor,
+                    ipc=shard_ipc,
                     compile_plans=compile_plans,
                     compile_enum=compile_enum,
                     codegen=codegen,

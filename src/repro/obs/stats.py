@@ -69,6 +69,12 @@ _SUMMARY_COUNT_KEYS = frozenset(
         "shape_cache_hits",
         "codegen_fallbacks",
         "codegen_time_ms",
+        "ipc_rounds",
+        "ipc_commits",
+        "ipc_bytes_sent",
+        "ipc_bytes_received",
+        "ipc_worker_failures",
+        "ipc_workers_spawned",
     }
 )
 
@@ -324,6 +330,24 @@ class MaintenanceStats:
         self.codegen_time_ms = 0.0
         self.shape_cache_hits = 0
         self.codegen_fallbacks = 0
+        #: Worker-IPC accounting (repro.shard.worker): command
+        #: round-trips to persistent shard workers, bytes shipped over
+        #: the pipes (both directions), per-commit byte histogram (the
+        #: "cost scales with batch, not state" evidence), worker busy
+        #: time vs. coordinator wall time (utilization), time spent
+        #: merging shipped stats deltas, worker crashes surfaced, and
+        #: worker processes spawned (> shards means a pool rebuild).
+        self.ipc_rounds = 0
+        self.ipc_commits = 0
+        self.ipc_bytes_sent = 0
+        self.ipc_bytes_received = 0
+        self.ipc_commit_bytes = CountHistogram()
+        self.ipc_worker_busy_s = 0.0
+        self.ipc_wall_s = 0.0
+        self.ipc_workers = 0
+        self.ipc_stats_merge_s = 0.0
+        self.ipc_worker_failures = 0
+        self.ipc_workers_spawned = 0
         #: Per-shard summaries recorded by labelled merges (sharded runs).
         self.shard_summaries: dict[str, dict] = {}
         # Recorders may be shared across threads (thread-pool shards,
@@ -543,6 +567,51 @@ class MaintenanceStats:
             self.shape_cache_hits += cache_hits
             self.codegen_fallbacks += fallbacks
 
+    def record_ipc_round(
+        self,
+        round_trips: int,
+        bytes_sent: int,
+        bytes_received: int,
+        busy_s: float = 0.0,
+        wall_s: float = 0.0,
+        workers: int = 0,
+        commit: bool = False,
+    ) -> None:
+        """One coordinator operation against the shard-worker pool.
+
+        ``round_trips`` counts per-worker command exchanges inside the
+        operation (a broadcast over N workers is N round-trips but one
+        call).  ``commit=True`` marks maintenance commits (``apply`` /
+        ``apply_batch``) and feeds the per-commit byte histogram — the
+        series that must stay flat as resident view state grows.
+        """
+        with self._lock:
+            self.ipc_rounds += round_trips
+            self.ipc_bytes_sent += bytes_sent
+            self.ipc_bytes_received += bytes_received
+            self.ipc_worker_busy_s += busy_s
+            self.ipc_wall_s += wall_s
+            if workers > self.ipc_workers:
+                self.ipc_workers = workers
+            if commit:
+                self.ipc_commits += 1
+                self.ipc_commit_bytes.record(bytes_sent + bytes_received)
+
+    def record_ipc_stats_merge(self, seconds: float) -> None:
+        """Time spent folding a worker's shipped stats delta."""
+        with self._lock:
+            self.ipc_stats_merge_s += seconds
+
+    def record_ipc_worker_failure(self) -> None:
+        """One worker crash (or dead pipe) surfaced to the coordinator."""
+        with self._lock:
+            self.ipc_worker_failures += 1
+
+    def record_ipc_workers_spawned(self, count: int) -> None:
+        """Worker processes spawned (pool build or rebuild)."""
+        with self._lock:
+            self.ipc_workers_spawned += count
+
     # ------------------------------------------------------------------
     # Aggregation and export
     # ------------------------------------------------------------------
@@ -684,6 +753,18 @@ class MaintenanceStats:
         self.codegen_time_ms += other.codegen_time_ms
         self.shape_cache_hits += other.shape_cache_hits
         self.codegen_fallbacks += other.codegen_fallbacks
+        self.ipc_rounds += other.ipc_rounds
+        self.ipc_commits += other.ipc_commits
+        self.ipc_bytes_sent += other.ipc_bytes_sent
+        self.ipc_bytes_received += other.ipc_bytes_received
+        self.ipc_commit_bytes.merge(other.ipc_commit_bytes)
+        self.ipc_worker_busy_s += other.ipc_worker_busy_s
+        self.ipc_wall_s += other.ipc_wall_s
+        if other.ipc_workers > self.ipc_workers:
+            self.ipc_workers = other.ipc_workers
+        self.ipc_stats_merge_s += other.ipc_stats_merge_s
+        self.ipc_worker_failures += other.ipc_worker_failures
+        self.ipc_workers_spawned += other.ipc_workers_spawned
         self.record_ops(other.ops)
         for shard_label, summary in other.shard_summaries.items():
             mine = self.shard_summaries.get(shard_label)
@@ -753,6 +834,25 @@ class MaintenanceStats:
                 "codegen_time_ms": self.codegen_time_ms,
                 "shape_cache_hits": self.shape_cache_hits,
                 "fallbacks": self.codegen_fallbacks,
+            },
+            "ipc": {
+                "rounds": self.ipc_rounds,
+                "commits": self.ipc_commits,
+                "bytes_sent": self.ipc_bytes_sent,
+                "bytes_received": self.ipc_bytes_received,
+                "commit_bytes": self.ipc_commit_bytes.to_dict(),
+                "worker_busy_s": self.ipc_worker_busy_s,
+                "wall_s": self.ipc_wall_s,
+                "workers": self.ipc_workers,
+                "utilization": (
+                    self.ipc_worker_busy_s
+                    / (self.ipc_wall_s * self.ipc_workers)
+                    if self.ipc_wall_s and self.ipc_workers
+                    else 0.0
+                ),
+                "stats_merge_s": self.ipc_stats_merge_s,
+                "worker_failures": self.ipc_worker_failures,
+                "workers_spawned": self.ipc_workers_spawned,
             },
             "epochs": {
                 "published": self.epochs_published,
@@ -853,6 +953,33 @@ class MaintenanceStats:
                 f"(shape-cache hits: {self.shape_cache_hits}, "
                 f"fallbacks: {self.codegen_fallbacks})"
             )
+        if self.ipc_rounds or self.ipc_workers_spawned:
+            utilization = (
+                self.ipc_worker_busy_s / (self.ipc_wall_s * self.ipc_workers)
+                if self.ipc_wall_s and self.ipc_workers
+                else 0.0
+            )
+            failures = (
+                f"  failures: {self.ipc_worker_failures}"
+                if self.ipc_worker_failures
+                else ""
+            )
+            lines.append(
+                f"worker ipc: {self.ipc_rounds} round-trips "
+                f"({self.ipc_commits} commits)  "
+                f"bytes: {self.ipc_bytes_sent} out / "
+                f"{self.ipc_bytes_received} in  "
+                f"utilization: {utilization:.0%}  "
+                f"workers spawned: {self.ipc_workers_spawned}{failures}"
+            )
+            if self.ipc_commit_bytes.count:
+                lines.append(
+                    f"  commit bytes: "
+                    f"mean={self.ipc_commit_bytes.stat.mean:.3g}"
+                    f"  p50<={self.ipc_commit_bytes.percentile(0.5):g}"
+                    f"  max={self.ipc_commit_bytes.stat.maximum:g}"
+                    f"  stats-merge: {self.ipc_stats_merge_s:.3g}s"
+                )
         if self.epochs_published or self.snapshot_reads:
             lines.append(
                 f"epochs: {self.epochs_published} published  "

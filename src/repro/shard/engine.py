@@ -26,11 +26,18 @@ Executors:
   Python still serializes on the GIL, but shards also cut per-shard view
   sizes (smaller probes, smaller groups), which is where the measured
   speedup on CPython comes from (see ``benchmarks/bench_shard_scaling.py``).
-* ``"process"`` — a process pool; ``apply_batch`` ships each shard
-  engine to a worker and adopts the returned, updated engine.  Real
-  parallelism at the price of pickling engines per batch: worthwhile for
-  large batches over large trees.  Single-tuple :meth:`apply` runs
-  inline (a round-trip per tuple would drown the work).
+* ``"process"`` — persistent shard workers (:mod:`repro.shard.worker`):
+  each worker process is spawned once, builds its shard engine locally
+  from a small pickled spec, and keeps all view state resident.  Per
+  commit the coordinator ships only the coalesced, router-split
+  sub-batch (columnar encoding, numpy payload buffers as raw bytes)
+  and receives a stats *delta* — IPC cost scales with the batch, never
+  with accumulated view state.  Reads (``lookup`` routed to the owner
+  shard, ``enumerate``/``scalar`` streamed in chunks,
+  ``publish_epoch`` as a barrier) ride the same pipe protocol, so the
+  coordinator holds no engine replicas at all.  The previous
+  ship-the-whole-engine-per-batch path survives behind
+  ``ipc="pickle-engine"`` as the differential oracle.
 * ``"serial"`` — no pool; useful for debugging and differential tests.
 
 Observability: every shard engine carries its own
@@ -45,6 +52,7 @@ per-shard labels.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Iterator
 
@@ -63,8 +71,15 @@ from .router import (
     choose_shard_variable,
     stable_hash,
 )
+from .worker import (
+    ShardWorkerError,
+    ShardWorkerPool,
+    ShardWorkerSpec,
+    encode_batch,
+)
 
 _EXECUTORS = ("serial", "thread", "process")
+_IPC_MODES = ("delta", "pickle-engine")
 
 
 def _apply_shard_batch(engine: ViewTreeEngine, batch, rebuild_factor):
@@ -93,12 +108,17 @@ class ShardedEngine(Observable):
         compile_plans: bool = True,
         compile_enum: bool = True,
         codegen: bool = True,
+        ipc: str = "delta",
     ):
         if shards < 1:
             raise ValueError("shards must be >= 1")
         if executor not in _EXECUTORS:
             raise ValueError(
                 f"unknown executor {executor!r}; expected one of {_EXECUTORS}"
+            )
+        if ipc not in _IPC_MODES:
+            raise ValueError(
+                f"unknown ipc mode {ipc!r}; expected one of {_IPC_MODES}"
             )
         self.query = query
         self.database = database
@@ -112,44 +132,67 @@ class ShardedEngine(Observable):
         self.router = ShardRouter(query, self.shard_variable, self.shards)
         self.order = order if order is not None else order_for(query)
         self.executor = executor
+        self.ipc = ipc
         self._max_workers = max_workers
         self._pool = None
+        #: Delta-IPC mode: persistent worker processes own the shard
+        #: engines; the coordinator keeps no engine replicas and ships
+        #: only sub-batches out / stats deltas back.  A single shard has
+        #: nothing to parallelize — it stays in-process like "serial".
+        self._delta_ipc = (
+            executor == "process" and ipc == "delta" and self.shards > 1
+        )
+        self._worker_pool: ShardWorkerPool | None = None
+        self._lifting = lifting
+        self._compile_plans = compile_plans
+        self._compile_enum = compile_enum
+        self._codegen_requested = codegen
 
-
-        #: One recorder per shard, attached from birth; merged on demand.
+        #: One recorder per shard, attached from birth (delta mode:
+        #: merged from shipped worker deltas); merged on demand.
         self.shard_stats = [
             MaintenanceStats(engine=f"ViewTreeEngine/shard{index}")
             for index in range(self.shards)
         ]
-        # Per-shard compiled delta plans: each shard engine compiles its
-        # own (the plans reference that shard's leaves and views) and the
-        # whole graph stays picklable for the process-pool executor.
-        self.engines = [
-            ViewTreeEngine(
-                query,
-                database,
-                self.order,
-                lifting=lifting,
-                stats=self.shard_stats[index],
-                leaf_filter=ShardLeafFilter(self.router, index),
-                compile_plans=compile_plans,
-                compile_enum=compile_enum,
-                codegen=codegen,
-            )
-            for index in range(self.shards)
-        ]
-        #: Whether any shard engine runs generated kernels (shards share
-        #: plan shapes, so codegen compiles once and caches per shape).
-        self.codegen = any(engine.codegen for engine in self.engines)
+        if self._delta_ipc:
+            # The shard engines live in the workers (spawned lazily on
+            # first use, from the then-current base database).
+            self.engines = []
+            self.codegen = bool(codegen)
+        else:
+            # Per-shard compiled delta plans: each shard engine compiles
+            # its own (the plans reference that shard's leaves and views)
+            # and the whole graph stays picklable for the process-pool
+            # executor.
+            self.engines = [
+                ViewTreeEngine(
+                    query,
+                    database,
+                    self.order,
+                    lifting=lifting,
+                    stats=self.shard_stats[index],
+                    leaf_filter=ShardLeafFilter(self.router, index),
+                    compile_plans=compile_plans,
+                    compile_enum=compile_enum,
+                    codegen=codegen,
+                )
+                for index in range(self.shards)
+            ]
+            #: Whether any shard engine runs generated kernels (shards
+            #: share plan shapes, so codegen compiles once per shape).
+            self.codegen = any(engine.codegen for engine in self.engines)
         #: Variables whose subtree joins at least one partitioned leaf;
         #: their per-shard views are disjoint slices (ring-add to merge),
         #: all other views are identical replicas (take any one copy).
         self._partitioned_variables = self._find_partitioned_variables()
         #: Last published coordinator epoch: a tuple of (shard engine,
         #: shard EpochSnapshot) pairs, swapped in one assignment so
-        #: merged snapshot reads are cross-shard consistent.
+        #: merged snapshot reads are cross-shard consistent.  In delta
+        #: mode snapshots live worker-side, addressed by epoch number
+        #: (``_published_epoch`` is the newest readers may pin).
         self.epoch = 0
         self._epoch_snapshot: tuple | None = None
+        self._published_epoch: int | None = None
 
     # ------------------------------------------------------------------
     # Executor plumbing
@@ -168,11 +211,146 @@ class ShardedEngine(Observable):
                 self._pool = ProcessPoolExecutor(max_workers=workers)
         return self._pool
 
+    def _ensure_workers(self) -> ShardWorkerPool:
+        """The persistent worker pool, spawned (or rebuilt) on demand.
+
+        Workers build their shard engines from the coordinator's
+        *current* base database — also the recovery path: after a
+        worker crash the pool is respawned from the committed base
+        state, so surviving shards lose nothing.  If an epoch was
+        published before the rebuild, it is re-published under the same
+        number so pinned snapshot readers keep getting answers (they
+        observe the committed base state, which can only be fresher).
+        """
+        pool = self._worker_pool
+        if pool is not None and not pool.broken:
+            return pool
+        if pool is not None:
+            for shard, delta in pool.close():
+                self.shard_stats[shard].merge(delta)
+            self._worker_pool = None
+        specs = [
+            ShardWorkerSpec(
+                query=self.query,
+                database=self.database,
+                shard=index,
+                router=self.router,
+                order=self.order,
+                lifting=self._lifting,
+                compile_plans=self._compile_plans,
+                compile_enum=self._compile_enum,
+                codegen=self._codegen_requested,
+            )
+            for index in range(self.shards)
+        ]
+        pool = ShardWorkerPool(specs)
+        self._worker_pool = pool
+        stats = self._maintenance_stats
+        if stats is not None:
+            stats.record_ipc_workers_spawned(pool.size)
+            stats.record_ipc_round(
+                round_trips=pool.size,
+                bytes_sent=pool.spawn_bytes,
+                bytes_received=0,
+                workers=pool.size,
+            )
+        if self._published_epoch is not None:
+            pool.broadcast(("publish_epoch", self._published_epoch))
+        return pool
+
+    def _absorb(self, pairs, wall_s: float, commit: bool = False) -> None:
+        """Fold worker replies into the coordinator's accounting.
+
+        ``pairs`` is ``[(shard_index, reply)]``.  Shipped stats deltas
+        merge into the per-shard recorders (what :meth:`merged_stats`
+        labels), and the round's bytes/latency feed the coordinator's
+        ``ipc`` block.
+        """
+        sent = received = 0
+        busy = 0.0
+        merge_started = None
+        for index, reply in pairs:
+            sent += reply.bytes_sent
+            received += reply.bytes_received
+            busy += reply.busy
+            if reply.stats is not None:
+                if merge_started is None:
+                    merge_started = time.perf_counter()
+                self.shard_stats[index].merge(reply.stats)
+        stats = self._maintenance_stats
+        if stats is not None:
+            if merge_started is not None:
+                stats.record_ipc_stats_merge(
+                    time.perf_counter() - merge_started
+                )
+            stats.record_ipc_round(
+                round_trips=len(pairs),
+                bytes_sent=sent,
+                bytes_received=received,
+                busy_s=busy,
+                wall_s=wall_s,
+                workers=self.shards,
+                commit=commit,
+            )
+
+    def _worker_failed(self, error: ShardWorkerError) -> None:
+        """Count a transport-level worker failure (crash / dead pipe)."""
+        pool = self._worker_pool
+        if pool is not None and pool.broken:
+            stats = self._maintenance_stats
+            if stats is not None:
+                stats.record_ipc_worker_failure()
+
+    def _pool_round(self, commands: list[tuple], commit: bool = False):
+        """One command per worker, with failure counting and absorption."""
+        pool = self._ensure_workers()
+        started = time.perf_counter()
+        try:
+            replies = pool.round(commands)
+        except ShardWorkerError as error:
+            self._worker_failed(error)
+            raise
+        self._absorb(
+            list(enumerate(replies)), time.perf_counter() - started, commit
+        )
+        return replies
+
+    def _pool_broadcast(self, command: tuple, commit: bool = False):
+        return self._pool_round([command] * self.shards, commit)
+
+    def _pool_call(self, shard: int, command: tuple, commit: bool = False):
+        """One command to one worker, with failure counting/absorption."""
+        pool = self._ensure_workers()
+        started = time.perf_counter()
+        try:
+            reply = pool.call(shard, command)
+        except ShardWorkerError as error:
+            self._worker_failed(error)
+            raise
+        self._absorb([(shard, reply)], time.perf_counter() - started, commit)
+        return reply
+
     def close(self) -> None:
-        """Shut the executor pool down (idempotent)."""
+        """Shut executor and worker pools down (idempotent).
+
+        Worker shutdown ships each worker's final stats delta, so
+        :meth:`merged_stats` stays complete after close.
+        """
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._worker_pool is not None:
+            pool, self._worker_pool = self._worker_pool, None
+            for shard, delta in pool.close():
+                self.shard_stats[shard].merge(delta)
+
+    def __getstate__(self) -> dict:
+        # Neither pool survives pickling; a restored engine respawns
+        # lazily on first use.
+        state = self.__dict__.copy()
+        state["_pool"] = None
+        state["_worker_pool"] = None
+        return state
 
     def __enter__(self) -> "ShardedEngine":
         return self
@@ -193,9 +371,24 @@ class ShardedEngine(Observable):
     @observed
     def apply(self, update: Update, update_base: bool = True) -> None:
         """Route one single-tuple update to its owning shard(s)."""
+        if self._delta_ipc:
+            # Spawn (or rebuild) the workers before the base write: a
+            # worker builds its leaves from the parent database as of
+            # spawn time, so the update must not be in it yet.
+            self._ensure_workers()
         if update_base and update.relation in self.database:
             self.database[update.relation].add(update.key, update.payload)
         owner = self.router.shard_of(update)
+        if self._delta_ipc:
+            # One pipe round-trip per tuple: correct but slow — batch
+            # through apply_batch when throughput matters.  Broadcasts
+            # go through the worker protocol too (the old process path
+            # silently ran them serially in the coordinator).
+            if owner is not None:
+                self._pool_call(owner, ("apply", update), commit=True)
+            else:
+                self._pool_broadcast(("apply", update), commit=True)
+            return
         if owner is not None:
             self.engines[owner].apply(update, update_base=False)
             return
@@ -228,11 +421,28 @@ class ShardedEngine(Observable):
         shipped to each shard only once per surviving key.
         """
         batch = coalesce(batch, self.ring)
+        if self._delta_ipc:
+            # Spawn (or rebuild) the workers before the base writes:
+            # workers build their leaves from the parent database as of
+            # spawn time, so this batch must not be in it yet.
+            self._ensure_workers()
         if update_base:
             for update in batch:
                 if update.relation in self.database:
                     self.database[update.relation].add(update.key, update.payload)
         sub_batches = self.router.split(batch)
+        if self._delta_ipc:
+            # Ship each worker its sub-batch in the columnar wire
+            # encoding; the reply carries a stats delta, never the
+            # engine — bytes per commit scale with the batch only.
+            self._pool_round(
+                [
+                    ("apply_batch", encode_batch(sub, self.ring), rebuild_factor)
+                    for sub in sub_batches
+                ],
+                commit=True,
+            )
+            return
         if self.executor == "serial" or self.shards == 1:
             for engine, sub in zip(self.engines, sub_batches):
                 engine.apply_batch(sub, update_base=False, rebuild_factor=rebuild_factor)
@@ -268,6 +478,9 @@ class ShardedEngine(Observable):
 
     def rebuild(self) -> None:
         """Rebuild every shard's views from its leaves."""
+        if self._delta_ipc:
+            self._pool_broadcast(("rebuild",))
+            return
         for engine in self.engines:
             engine.rebuild()
 
@@ -277,6 +490,12 @@ class ShardedEngine(Observable):
 
     def scalar(self) -> Any:
         """Boolean-query payload: the ring sum of per-shard scalars."""
+        if self._delta_ipc:
+            replies = self._pool_broadcast(("scalar", None))
+            total = self.ring.zero
+            for reply in replies:
+                total = self.ring.add(total, reply.payload)
+            return total
         total = self.ring.zero
         for engine in self.engines:
             total = self.ring.add(total, engine.scalar())
@@ -313,16 +532,26 @@ class ShardedEngine(Observable):
         out = Relation(
             f"{self.query.name}_merged", Schema(self.query.head), self.ring
         )
-        if observed:
-            drain = lambda e: list(e.enumerate(prebound))
+        if self._delta_ipc:
+            # Workers drain concurrently (commands land before any
+            # reply is awaited) and stream their outputs in chunks.
+            replies = self._pool_broadcast(
+                ("enumerate", prebound, None, observed)
+            )
+            shard_outputs = [reply.items or [] for reply in replies]
         else:
-            drain = lambda e: list(e._enumerate(prebound))
-        pool = self._ensure_pool() if self.executor == "thread" else None
-        if pool is None:
-            shard_outputs = [drain(e) for e in self.engines]
-        else:
-            futures = [pool.submit(drain, engine) for engine in self.engines]
-            shard_outputs = [future.result() for future in futures]
+            if observed:
+                drain = lambda e: list(e.enumerate(prebound))
+            else:
+                drain = lambda e: list(e._enumerate(prebound))
+            pool = self._ensure_pool() if self.executor == "thread" else None
+            if pool is None:
+                shard_outputs = [drain(e) for e in self.engines]
+            else:
+                futures = [
+                    pool.submit(drain, engine) for engine in self.engines
+                ]
+                shard_outputs = [future.result() for future in futures]
         for entries in shard_outputs:
             for key, payload in entries:
                 out.add(key, payload)
@@ -343,6 +572,25 @@ class ShardedEngine(Observable):
         time) keeps snapshot reads correct when the process executor
         adopts replacement engines mid-read.
         """
+        if self._delta_ipc:
+            # Barrier broadcast: every worker freezes its current state
+            # under the next coordinator epoch number.  The number is
+            # advanced only after all workers acked, so readers never
+            # pin an epoch a worker has not published yet; workers
+            # retain the last few numbered snapshots, so a reader
+            # pinning N-1 during the publish of N still gets answers.
+            number = self.epoch + 1
+            replies = self._pool_broadcast(("publish_epoch", number))
+            self.epoch = number
+            self._published_epoch = number
+            if record:
+                stats = self._maintenance_stats
+                if stats is not None:
+                    stats.record_epoch_publish(
+                        sum(reply.payload[0] for reply in replies),
+                        sum(reply.payload[1] for reply in replies),
+                    )
+            return number
         pairs = tuple(
             (engine, engine.publish_epoch(record=False))
             for engine in self.engines
@@ -364,8 +612,23 @@ class ShardedEngine(Observable):
             pairs = self.publish_epoch()
         return pairs
 
+    def _snapshot_epoch(self) -> int:
+        """The epoch number delta-mode snapshot reads pin."""
+        if self._published_epoch is None:
+            self.publish_epoch()
+        return self._published_epoch
+
+    def _scalar_snapshot_delta(self, number: int) -> Any:
+        replies = self._pool_broadcast(("scalar", number))
+        total = self.ring.zero
+        for reply in replies:
+            total = self.ring.add(total, reply.payload)
+        return total
+
     def scalar_snapshot(self, pairs: tuple | None = None) -> Any:
         """:meth:`scalar` against the published epoch."""
+        if self._delta_ipc:
+            return self._scalar_snapshot_delta(self._snapshot_epoch())
         if pairs is None:
             pairs = self._snapshot_pairs()
         total = self.ring.zero
@@ -380,13 +643,39 @@ class ShardedEngine(Observable):
 
         Safe to drive from any thread while shard maintenance runs: each
         shard is drained through its frozen snapshot and the union is
-        materialized into a fresh thread-local relation.
+        materialized into a fresh thread-local relation.  Delta mode
+        pins the published epoch *number*; workers answer from their
+        retained snapshot for that number, so a read that races the
+        next publish stays on its own consistent epoch.
         """
+        if self._delta_ipc:
+            number = self._snapshot_epoch()
+            return observed_enumeration(
+                self._maintenance_stats,
+                self._enumerate_snapshot_delta(prebound, number),
+            )
         pairs = self._snapshot_pairs()
         return observed_enumeration(
             self._maintenance_stats,
             self._enumerate_merged_snapshot(prebound, pairs),
         )
+
+    def _enumerate_snapshot_delta(
+        self, prebound: dict[str, Any] | None, number: int
+    ) -> Iterator[tuple[tuple, Any]]:
+        if not self.query.head:
+            payload = self._scalar_snapshot_delta(number)
+            if not self.ring.is_zero(payload):
+                yield (), payload
+            return
+        out = Relation(
+            f"{self.query.name}_merged", Schema(self.query.head), self.ring
+        )
+        replies = self._pool_broadcast(("enumerate", prebound, number, False))
+        for reply in replies:
+            for key, payload in reply.items or []:
+                out.add(key, payload)
+        yield from out.data.items()
 
     def _enumerate_merged_snapshot(
         self, prebound: dict[str, Any] | None, pairs: tuple
@@ -404,26 +693,50 @@ class ShardedEngine(Observable):
                 out.add(key, payload)
         yield from out.data.items()
 
+    def _lookup_owner(self, prebound: dict[str, Any]) -> int | None:
+        """The single shard that can own this key, when pinnable."""
+        if (
+            self.shards > 1
+            and self.shard_variable in prebound
+            and self.router.partitioned_relations()
+        ):
+            return stable_hash(prebound[self.shard_variable]) % self.shards
+        return None
+
+    def _lookup_delta(self, key: tuple, number: int | None) -> Any:
+        """Delta-mode point lookup (live or pinned to epoch ``number``)."""
+        head = self.query.head
+        prebound = dict(zip(head, key))
+        owner = self._lookup_owner(prebound)
+        shard_list = range(self.shards) if owner is None else (owner,)
+        total = self.ring.zero
+        for shard in shard_list:
+            reply = self._pool_call(shard, ("lookup", key, prebound, number))
+            total = self.ring.add(total, reply.payload)
+        stats = self._maintenance_stats
+        if stats is not None:
+            stats.record_point_lookup(len(shard_list))
+        return total
+
     def lookup_snapshot(self, key: tuple) -> Any:
         """:meth:`lookup` against the published epoch (same probe savers)."""
-        pairs = self._snapshot_pairs()
         key = tuple(key)
         head = self.query.head
         if len(key) != len(head):
             raise ValueError(
                 f"lookup key {key!r} does not match head {head!r}"
             )
+        if self._delta_ipc:
+            number = self._snapshot_epoch()
+            if not head:
+                return self._scalar_snapshot_delta(number)
+            return self._lookup_delta(key, number)
+        pairs = self._snapshot_pairs()
         if not head:
             return self.scalar_snapshot(pairs)
         prebound = dict(zip(head, key))
-        if (
-            self.shards > 1
-            and self.shard_variable in prebound
-            and self.router.partitioned_relations()
-        ):
-            owner = (
-                stable_hash(prebound[self.shard_variable]) % self.shards
-            )
+        owner = self._lookup_owner(prebound)
+        if owner is not None:
             pairs = (pairs[owner],)
         total = self.ring.zero
         for engine, snap in pairs:
@@ -462,19 +775,15 @@ class ShardedEngine(Observable):
             )
         if not head:
             return self.scalar()
+        if self._delta_ipc:
+            return self._lookup_delta(key, None)
         prebound = dict(zip(head, key))
         engines = self.engines
-        if (
-            self.shards > 1
-            and self.shard_variable in prebound
-            and self.router.partitioned_relations()
-        ):
-            # A join-output tuple with shard-variable value v can only
-            # arise on the shard owning v (disjoint decomposition — see
-            # the module docstring), so the others cannot contribute.
-            owner = (
-                stable_hash(prebound[self.shard_variable]) % self.shards
-            )
+        # A join-output tuple with shard-variable value v can only
+        # arise on the shard owning v (disjoint decomposition — see
+        # the module docstring), so the others cannot contribute.
+        owner = self._lookup_owner(prebound)
+        if owner is not None:
             engines = (self.engines[owner],)
         total = self.ring.zero
         for engine in engines:
@@ -524,6 +833,20 @@ class ShardedEngine(Observable):
         unsharded engine fed the same stream.
         """
         merged: dict[str, Relation] = {}
+        if self._delta_ipc:
+            replies = self._pool_broadcast(("views",))
+            for reply in replies:
+                for name, variable, schema_vars, items in reply.payload:
+                    replicated = variable not in self._partitioned_variables
+                    if name not in merged:
+                        out = Relation(name, Schema(list(schema_vars)), self.ring)
+                        for key, payload in items:
+                            out.add(key, payload)
+                        merged[name] = out
+                    elif not replicated:
+                        for key, payload in items:
+                            merged[name].add(key, payload)
+            return merged
         for shard, engine in enumerate(self.engines):
             for root in engine.roots:
                 for node in root.walk():
@@ -542,12 +865,18 @@ class ShardedEngine(Observable):
 
     def total_view_size(self) -> int:
         """Entries across all shards' views, guards, and leaves."""
+        if self._delta_ipc:
+            replies = self._pool_broadcast(("total_view_size",))
+            return sum(reply.payload for reply in replies)
         return sum(engine.total_view_size() for engine in self.engines)
 
     def describe(self) -> str:
+        executor = self.executor
+        if self.executor == "process":
+            executor = f"process/{self.ipc}"
         lines = [
             f"ShardedEngine: {self.shards} shards on "
-            f"{self.shard_variable!r} ({self.executor})"
+            f"{self.shard_variable!r} ({executor})"
         ]
         for name in sorted(self.router.positions):
             mode = (
@@ -556,6 +885,12 @@ class ShardedEngine(Observable):
                 else "broadcast"
             )
             lines.append(f"  {name}: {mode}")
+        if self._delta_ipc:
+            replies = self._pool_broadcast(("describe",))
+            for index, reply in enumerate(replies):
+                lines.append(f"shard {index} (worker-resident):")
+                lines.extend("  " + line for line in reply.payload.splitlines())
+            return "\n".join(lines)
         for index, engine in enumerate(self.engines):
             lines.append(f"shard {index}:")
             lines.extend("  " + line for line in engine.describe().splitlines())
@@ -574,6 +909,14 @@ class ShardedEngine(Observable):
 
     def merged_stats(self) -> MaintenanceStats:
         """One recorder: coordinator series + per-shard labelled summaries."""
+        if self._delta_ipc and self._worker_pool is not None:
+            # Pull any stats the workers accumulated since their last
+            # shipped delta (e.g. read-path enumeration counters).
+            if not self._worker_pool.broken:
+                try:
+                    self._pool_broadcast(("pull_stats",))
+                except ShardWorkerError:
+                    pass
         merged = MaintenanceStats(
             engine=f"ShardedEngine[{self.shards}x{self.shard_variable}]"
         )

@@ -1,0 +1,568 @@
+"""Persistent shard workers: delta-only IPC for process-parallel shards.
+
+The original ``executor="process"`` path shipped each shard's *entire*
+``ViewTreeEngine`` through pickle on every batch and adopted the
+returned copy — O(accumulated view state) per commit, the opposite of
+incremental.  This module replaces that with a persistent worker
+runtime:
+
+* each worker process is spawned **once** from a small pickled
+  :class:`ShardWorkerSpec` (query + database + order + router + shard
+  id), builds its shard engine locally, and keeps all view state
+  resident for the life of the pool;
+* the parent speaks a small command protocol over a duplex pipe —
+  ``apply_batch`` ships only the coalesced, router-split sub-batch in
+  the columnar encoding of :mod:`repro.data.columnar` (numpy payload
+  buffers travel as raw bytes for ``numeric_dtype`` rings), and the
+  worker replies with a :class:`~repro.obs.MaintenanceStats` *delta*,
+  never the engine;
+* reads (``lookup`` routed to the owner shard, ``enumerate`` /
+  ``scalar`` / ``output_relation`` streamed in chunks,
+  ``publish_epoch`` broadcast as a barrier) ride the same protocol, so
+  the parent holds **no** engine replicas at all.
+
+Wire format: every message in either direction is one
+``pickle.dumps`` blob sent with ``Connection.send_bytes`` — framing by
+length makes the bytes shipped per command directly countable, which
+is what feeds the ``ipc`` observability block.  Replies are either a
+terminal ``("ok", payload, stats_delta, busy_seconds)`` /
+``("err", traceback)`` or any number of ``("chunk", items)`` messages
+followed by a terminal one (streamed enumerations).
+
+Epoch snapshots never cross the pipe: ``EpochSnapshot`` objects are
+identity-keyed (meaningless after pickling), so workers retain their
+last few published snapshots keyed by the *coordinator's* epoch
+number and snapshot reads name the epoch they want.
+
+Concurrency: one :class:`threading.Lock` per worker is held across a
+full send+receive exchange, so concurrent parent threads (the serve
+tier's commit executor vs. its event loop) cannot interleave frames.
+Broadcast rounds take the locks in worker-index order; point commands
+take exactly one — no lock-order cycles, hence no deadlocks.
+
+Failure: a dead pipe or worker process raises
+:class:`ShardWorkerError` naming the shard, marks the pool broken,
+and the coordinator can rebuild from its authoritative base database
+(see ``ShardedEngine._ensure_workers``) — surviving shards lose no
+committed state because every worker is rebuilt from the same
+committed prefix.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..data.columnar import coalesce_columnar
+from ..data.database import Database
+from ..data.update import Update
+from ..obs import MaintenanceStats
+from ..query.ast import Query
+from ..query.variable_order import VariableOrder
+from ..rings.base import Semiring
+from ..rings.lifting import LiftingMap
+from .router import ShardLeafFilter, ShardRouter
+
+try:  # pragma: no cover - exercised indirectly via the encoders
+    import numpy as _np
+except Exception:  # pragma: no cover - numpy is baked into CI images
+    _np = None
+
+#: How many published epochs each worker keeps addressable.  The serve
+#: tier reads the latest published epoch while the next one is being
+#: published; anything older than a couple of epochs has no readers.
+RETAIN_EPOCHS = 4
+
+#: Streamed enumeration chunk size (entries per ``("chunk", ...)``).
+CHUNK_SIZE = 4096
+
+_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+#: Commands whose reply piggybacks the worker's accumulated stats
+#: delta (maintenance writes plus the explicit pull).
+_STATS_COMMANDS = frozenset(
+    {"apply", "apply_batch", "rebuild", "pull_stats", "shutdown"}
+)
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker failed (dead process, dead pipe, or remote error)."""
+
+    def __init__(self, shard: int, message: str):
+        super().__init__(f"shard worker {shard}: {message}")
+        self.shard = shard
+
+
+# ----------------------------------------------------------------------
+# Columnar wire encoding for sub-batches
+# ----------------------------------------------------------------------
+
+
+def encode_batch(
+    sub_batch, ring: Semiring
+) -> dict[str, tuple[list, tuple[str, Any]]]:
+    """Encode a router-split sub-batch for the pipe.
+
+    Produces ``{relation: (keys, payload_column)}`` via
+    :func:`~repro.data.columnar.coalesce_columnar`; for rings with a
+    ``numeric_dtype`` the payload column is shipped as raw numpy bytes
+    (``("np", buffer)``) instead of a pickled list.  Size is
+    proportional to the (coalesced) sub-batch only — never to the
+    worker's resident view state.
+    """
+    columns = coalesce_columnar(sub_batch, ring)
+    encoded: dict[str, tuple[list, tuple[str, Any]]] = {}
+    numeric = _np is not None and ring.numeric_dtype is not None
+    for relation, (keys, payloads) in columns.items():
+        if numeric:
+            buffer = _np.asarray(payloads, dtype=ring.numeric_dtype).tobytes()
+            encoded[relation] = (keys, ("np", buffer))
+        else:
+            encoded[relation] = (keys, ("py", payloads))
+    return encoded
+
+
+def decode_batch(
+    encoded: dict[str, tuple[list, tuple[str, Any]]], ring: Semiring
+) -> list[Update]:
+    """Decode :func:`encode_batch` output back into update objects.
+
+    ``float64`` buffers round-trip bit-identically through
+    ``tobytes``/``frombuffer``, so the worker applies exactly the
+    payloads the coordinator coalesced.
+    """
+    updates: list[Update] = []
+    for relation, (keys, (tag, data)) in encoded.items():
+        if tag == "np":
+            if _np is None:  # pragma: no cover - symmetric container
+                raise RuntimeError(
+                    "numpy-encoded batch received without numpy available"
+                )
+            payloads = _np.frombuffer(data, dtype=ring.numeric_dtype).tolist()
+        else:
+            payloads = data
+        updates.extend(
+            Update(relation, key, payload)
+            for key, payload in zip(keys, payloads)
+        )
+    return updates
+
+
+# ----------------------------------------------------------------------
+# Worker-side runtime
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ShardWorkerSpec:
+    """Everything a worker needs to build its shard engine locally.
+
+    Small and picklable: the plan inputs plus the base database — the
+    one-time spawn cost.  After construction the engine (views, guards,
+    compiled kernels) lives only in the worker.
+    """
+
+    query: Query
+    database: Database
+    shard: int
+    router: ShardRouter
+    order: VariableOrder
+    lifting: LiftingMap | None = None
+    compile_plans: bool = True
+    compile_enum: bool = True
+    codegen: bool = True
+    engine_kwargs: dict = field(default_factory=dict)
+
+    def build(self):
+        """Construct the shard's ``ViewTreeEngine`` with a fresh recorder."""
+        from ..viewtree.engine import ViewTreeEngine
+
+        stats = MaintenanceStats(engine=f"ViewTreeEngine/shard{self.shard}")
+        engine = ViewTreeEngine(
+            self.query,
+            self.database,
+            self.order,
+            lifting=self.lifting,
+            stats=stats,
+            leaf_filter=ShardLeafFilter(self.router, self.shard),
+            compile_plans=self.compile_plans,
+            compile_enum=self.compile_enum,
+            codegen=self.codegen,
+            **self.engine_kwargs,
+        )
+        return engine
+
+
+class _WorkerRuntime:
+    """The state machine a worker process runs until shutdown."""
+
+    def __init__(self, spec: ShardWorkerSpec):
+        self.spec = spec
+        self.engine = spec.build()
+        self.ring = self.engine.ring
+        #: Coordinator epoch number -> this shard's EpochSnapshot.
+        self.snapshots: dict[int, Any] = {}
+
+    def take_stats(self) -> MaintenanceStats:
+        """Swap in a fresh recorder and return the accumulated delta."""
+        delta = self.engine.detach_stats()
+        self.engine.attach_stats(
+            MaintenanceStats(engine=f"ViewTreeEngine/shard{self.spec.shard}")
+        )
+        return delta
+
+    # Each handler returns (payload, chunks) where chunks is an
+    # iterable of item lists to stream before the terminal reply.
+
+    def handle(self, command: tuple):
+        op = command[0]
+        handler = getattr(self, f"_cmd_{op}", None)
+        if handler is None:
+            raise ValueError(f"unknown worker command {op!r}")
+        return handler(*command[1:])
+
+    def _cmd_apply(self, update: Update):
+        self.engine.apply(update, update_base=False)
+        return None, None
+
+    def _cmd_apply_batch(self, encoded, rebuild_factor):
+        batch = decode_batch(encoded, self.ring)
+        self.engine.apply_batch(
+            batch, update_base=False, rebuild_factor=rebuild_factor
+        )
+        return None, None
+
+    def _cmd_rebuild(self):
+        self.engine.rebuild()
+        return None, None
+
+    def _cmd_publish_epoch(self, number: int):
+        snap = self.engine.publish_epoch(record=False)
+        self.snapshots[number] = snap
+        for stale in sorted(self.snapshots)[:-RETAIN_EPOCHS]:
+            del self.snapshots[stale]
+        return (snap.cow_buckets, snap.cow_tables), None
+
+    def _snapshot(self, number: int):
+        snap = self.snapshots.get(number)
+        if snap is None:
+            raise ValueError(
+                f"epoch {number} not retained (have {sorted(self.snapshots)})"
+            )
+        return snap
+
+    def _cmd_scalar(self, number: int | None):
+        if number is None:
+            return self.engine.scalar(), None
+        return self.engine.scalar_snapshot(self._snapshot(number)), None
+
+    def _cmd_enumerate(self, prebound, number: int | None, observed: bool):
+        if number is not None:
+            iterator = self.engine._enumerate(
+                prebound, None, epoch=self._snapshot(number)
+            )
+        elif observed:
+            iterator = self.engine.enumerate(prebound)
+        else:
+            # Materialization (output_relation) is not an enumeration
+            # request; the unobserved drain records no delay samples.
+            iterator = self.engine._enumerate(prebound)
+        return None, _chunked(iterator)
+
+    def _cmd_lookup(self, key: tuple, prebound, number: int | None):
+        if number is not None:
+            iterator = self.engine._enumerate(
+                prebound, None, epoch=self._snapshot(number)
+            )
+        else:
+            iterator = self.engine.enumerate(prebound)
+        total = self.ring.zero
+        for found, payload in iterator:
+            if found == key:
+                total = self.ring.add(total, payload)
+                break
+        return total, None
+
+    def _cmd_views(self):
+        entries = []
+        for root in self.engine.roots:
+            for node in root.walk():
+                pairs = [(f"V_{node.variable}", node.view)]
+                if node.guard is not None:
+                    pairs.append((f"G_{node.variable}", node.guard))
+                for name, relation in pairs:
+                    entries.append(
+                        (
+                            name,
+                            node.variable,
+                            tuple(relation.schema.variables),
+                            list(relation.data.items()),
+                        )
+                    )
+        return entries, None
+
+    def _cmd_total_view_size(self):
+        return self.engine.total_view_size(), None
+
+    def _cmd_describe(self):
+        return self.engine.describe(), None
+
+    def _cmd_pull_stats(self):
+        return None, None
+
+    def _cmd_shutdown(self):
+        return None, None
+
+
+def _chunked(iterator):
+    chunk: list = []
+    for item in iterator:
+        chunk.append(item)
+        if len(chunk) >= CHUNK_SIZE:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+def _worker_main(conn, spec_blob: bytes) -> None:
+    """Worker process entry point: build the engine, serve commands."""
+    try:
+        runtime = _WorkerRuntime(pickle.loads(spec_blob))
+    except Exception:
+        try:
+            conn.send_bytes(
+                pickle.dumps(("err", traceback.format_exc()), _PROTOCOL)
+            )
+        finally:
+            conn.close()
+        return
+    conn.send_bytes(pickle.dumps(("ok", None, None, 0.0), _PROTOCOL))
+    while True:
+        try:
+            blob = conn.recv_bytes()
+        except (EOFError, OSError):
+            break
+        command = pickle.loads(blob)
+        op = command[0]
+        started = time.perf_counter()
+        try:
+            payload, chunks = runtime.handle(command)
+            if chunks is not None:
+                for chunk in chunks:
+                    conn.send_bytes(pickle.dumps(("chunk", chunk), _PROTOCOL))
+            stats = (
+                runtime.take_stats() if op in _STATS_COMMANDS else None
+            )
+            busy = time.perf_counter() - started
+            conn.send_bytes(
+                pickle.dumps(("ok", payload, stats, busy), _PROTOCOL)
+            )
+        except Exception:
+            try:
+                conn.send_bytes(
+                    pickle.dumps(("err", traceback.format_exc()), _PROTOCOL)
+                )
+            except (BrokenPipeError, OSError):
+                break
+        if op == "shutdown":
+            break
+    conn.close()
+
+
+# ----------------------------------------------------------------------
+# Parent-side pool
+# ----------------------------------------------------------------------
+
+
+class _Reply:
+    """One worker's answer to one command."""
+
+    __slots__ = (
+        "payload", "items", "stats", "busy", "bytes_sent", "bytes_received"
+    )
+
+    def __init__(self, payload, items, stats, busy, bytes_sent, bytes_received):
+        self.payload = payload
+        self.items = items
+        self.stats = stats
+        self.busy = busy
+        self.bytes_sent = bytes_sent
+        self.bytes_received = bytes_received
+
+
+class _Worker:
+    __slots__ = ("shard", "process", "conn", "lock")
+
+    def __init__(self, shard, process, conn):
+        self.shard = shard
+        self.process = process
+        self.conn = conn
+        self.lock = threading.Lock()
+
+
+class ShardWorkerPool:
+    """A fixed set of persistent shard-worker processes.
+
+    Spawned once from per-shard :class:`ShardWorkerSpec`\\ s; every
+    subsequent exchange ships deltas and read results only.  All public
+    methods are thread-safe (per-worker locks, acquired in index order
+    for broadcasts).
+    """
+
+    def __init__(self, specs: list[ShardWorkerSpec], start_method: str | None = None):
+        import multiprocessing
+
+        context = multiprocessing.get_context(start_method)
+        self.workers: list[_Worker] = []
+        self.broken = False
+        self.spawn_bytes = 0
+        for spec in specs:
+            parent_conn, child_conn = context.Pipe(duplex=True)
+            blob = pickle.dumps(spec, _PROTOCOL)
+            self.spawn_bytes += len(blob)
+            process = context.Process(
+                target=_worker_main,
+                args=(child_conn, blob),
+                name=f"repro-shard-{spec.shard}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self.workers.append(_Worker(spec.shard, process, parent_conn))
+        # Barrier on construction: every worker acks (or reports a
+        # build failure) before the pool is usable.
+        for worker in self.workers:
+            self._collect(worker)
+
+    @property
+    def size(self) -> int:
+        return len(self.workers)
+
+    # -- transport ------------------------------------------------------
+
+    def _fail(self, worker: _Worker, message: str) -> ShardWorkerError:
+        self.broken = True
+        return ShardWorkerError(worker.shard, message)
+
+    def _send(self, worker: _Worker, command: tuple) -> int:
+        blob = pickle.dumps(command, _PROTOCOL)
+        try:
+            worker.conn.send_bytes(blob)
+        except (BrokenPipeError, OSError) as exc:
+            raise self._fail(
+                worker,
+                f"pipe closed sending {command[0]!r} ({exc}); "
+                "the worker process likely crashed — rebuild the pool",
+            ) from exc
+        return len(blob)
+
+    def _recv_blob(self, worker: _Worker) -> bytes:
+        while not worker.conn.poll(0.2):
+            if not worker.process.is_alive() and not worker.conn.poll(0.05):
+                raise self._fail(
+                    worker,
+                    f"worker process died (exitcode "
+                    f"{worker.process.exitcode}) — rebuild the pool",
+                )
+        try:
+            return worker.conn.recv_bytes()
+        except (EOFError, OSError) as exc:
+            raise self._fail(
+                worker, f"pipe closed mid-reply ({exc}) — rebuild the pool"
+            ) from exc
+
+    def _collect(self, worker: _Worker, bytes_sent: int = 0) -> _Reply:
+        items = None
+        received = 0
+        while True:
+            blob = self._recv_blob(worker)
+            received += len(blob)
+            message = pickle.loads(blob)
+            tag = message[0]
+            if tag == "chunk":
+                if items is None:
+                    items = []
+                items.extend(message[1])
+            elif tag == "ok":
+                _, payload, stats, busy = message
+                return _Reply(payload, items, stats, busy, bytes_sent, received)
+            elif tag == "err":
+                raise ShardWorkerError(
+                    worker.shard, f"remote command failed:\n{message[1]}"
+                )
+            else:  # pragma: no cover - protocol invariant
+                raise self._fail(worker, f"unknown reply tag {tag!r}")
+
+    # -- public API -----------------------------------------------------
+
+    def call(self, shard: int, command: tuple) -> _Reply:
+        """One command to one worker; blocks for the full round-trip."""
+        worker = self.workers[shard]
+        with worker.lock:
+            sent = self._send(worker, command)
+            return self._collect(worker, sent)
+
+    def round(self, commands: list[tuple]) -> list[_Reply]:
+        """One command per worker, sent to all before collecting any.
+
+        The workers compute concurrently; collection is in index order
+        (each worker's reply waits only on that worker).  Locks are
+        taken in index order, so a concurrent :meth:`call` cannot
+        deadlock against a broadcast.
+        """
+        if len(commands) != len(self.workers):
+            raise ValueError(
+                f"need {len(self.workers)} commands, got {len(commands)}"
+            )
+        acquired = []
+        try:
+            for worker in self.workers:
+                worker.lock.acquire()
+                acquired.append(worker)
+            sent = [
+                self._send(worker, command)
+                for worker, command in zip(self.workers, commands)
+            ]
+            return [
+                self._collect(worker, bytes_sent)
+                for worker, bytes_sent in zip(self.workers, sent)
+            ]
+        finally:
+            for worker in reversed(acquired):
+                worker.lock.release()
+
+    def broadcast(self, command: tuple) -> list[_Reply]:
+        """The same command to every worker."""
+        return self.round([command] * len(self.workers))
+
+    def close(self, timeout: float = 5.0) -> list[tuple[int, MaintenanceStats]]:
+        """Shut every worker down; returns ``(shard, final stats delta)``."""
+        deltas: list[tuple[int, MaintenanceStats]] = []
+        for worker in self.workers:
+            with worker.lock:
+                try:
+                    self._send(worker, ("shutdown",))
+                    reply = self._collect(worker)
+                    if reply.stats is not None:
+                        deltas.append((worker.shard, reply.stats))
+                except ShardWorkerError:
+                    pass
+                finally:
+                    try:
+                        worker.conn.close()
+                    except OSError:
+                        pass
+        deadline = time.monotonic() + timeout
+        for worker in self.workers:
+            worker.process.join(max(0.0, deadline - time.monotonic()))
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(1.0)
+        self.workers = []
+        self.broken = True
+        return deltas

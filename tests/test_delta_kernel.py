@@ -336,7 +336,8 @@ class TestCompiledPickling:
         db = seeded_db(schemas, random.Random(21), rows=15)
         batch = valid_stream(random.Random(5), {"R": 2, "S": 1}, 60)
         with ShardedEngine(
-            query, db, shards=2, executor="process", compile_plans=True
+            query, db, shards=2, executor="process", compile_plans=True,
+            ipc="pickle-engine",
         ) as engine:
             assert all(shard.compiled for shard in engine.engines)
             engine.apply_batch(batch)

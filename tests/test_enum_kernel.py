@@ -281,7 +281,7 @@ class TestSharded:
         )
         with ShardedEngine(
             query, seeded_db(schemas, random.Random(4)), shards=2,
-            executor="process",
+            executor="process", ipc="pickle-engine",
         ) as sharded:
             stream = list(
                 valid_stream(random.Random(6), {"R": 2, "S": 2}, 200)

@@ -46,13 +46,13 @@ def _wall_clock_timeout():
         signal.signal(signal.SIGALRM, previous)
 
 
-def fresh_engine(text, shards=1):
+def fresh_engine(text, shards=1, **kwargs):
     query = parse_query(text)
     db = Database()
     for atom in query.atoms:
         if atom.relation not in db:
             db.create(atom.relation, atom.variables)
-    return query, IVMEngine(query, db, shards=shards)
+    return query, IVMEngine(query, db, shards=shards, **kwargs)
 
 
 def close_backend(engine):
@@ -186,6 +186,63 @@ class TestGroupCommitEquivalence:
                 assert served == sorted(serial.enumerate())
             else:
                 assert served == serial.scalar()
+        finally:
+            close_backend(serial)
+
+    def test_process_shard_workers_behind_server_match_serial(self):
+        """The serving tier over process-executor shards (persistent
+        delta-IPC workers): concurrent writers plus snapshot reads in
+        flight, final state bit-identical to a serial replay — and the
+        commits actually went through the worker protocol."""
+        text, shards = "Q(B,A) = R(B,A) * S(B)", 3
+        writers, per_writer, domain, seed = 3, 200, 8, 19
+        query, engine = fresh_engine(
+            text, shards=shards, shard_executor="process"
+        )
+
+        async def run():
+            stats = MaintenanceStats()
+            async with AsyncIVMServer(
+                engine, max_batch=64, max_delay=0.001, stats=stats
+            ) as server:
+                assert server.snapshot_reads
+
+                async def write(index):
+                    for update in update_stream(
+                        query, per_writer, domain=domain, seed=seed + index
+                    ):
+                        await server.submit(update)
+
+                async def read():
+                    for _ in range(5):
+                        await server.enumerate()
+                        await asyncio.sleep(0.001)
+
+                await asyncio.gather(
+                    *(write(i) for i in range(writers)), read()
+                )
+                await server.drain()
+                return sorted(await server.enumerate()), stats
+
+        try:
+            served, stats = asyncio.run(run())
+            engine_stats = engine.backend.merged_stats()
+        finally:
+            close_backend(engine)
+
+        assert engine_stats.ipc_commits == stats.commits
+        assert engine_stats.ipc_workers_spawned == shards
+        assert engine_stats.ipc_worker_failures == 0
+
+        _, serial = fresh_engine(text, shards=1)
+        updates = []
+        for i in range(writers):
+            updates.extend(
+                update_stream(query, per_writer, domain=domain, seed=seed + i)
+            )
+        try:
+            serial.apply_batch(updates)
+            assert served == sorted(serial.enumerate())
         finally:
             close_backend(serial)
 

@@ -46,7 +46,11 @@ SNAPSHOT_CONFIGS = [
     ("Q(A) = R(A,B) * S(B)", 1, "thread", {"compile_enum": False}),
     ("Q(B,A) = R(B,A) * S(B)", 3, "serial", {}),
     ("Q(B,A) = R(B,A) * S(B)", 3, "thread", {}),
+    # "process" defaults to ipc="delta": snapshots live worker-side,
+    # addressed by the coordinator's epoch number over the pipe.
     ("Q(B,A) = R(B,A) * S(B)", 2, "process", {}),
+    # The old ship-the-engine path, kept as the differential oracle.
+    ("Q(B,A) = R(B,A) * S(B)", 2, "process", {"shard_ipc": "pickle-engine"}),
 ]
 
 
