@@ -472,6 +472,7 @@ def run_serve(
     smoke: bool = False,
     snapshot_reads: bool | None = None,
     codegen: bool = True,
+    change_feed: bool = False,
 ) -> int:
     """Closed-loop load test against the async serving front-end."""
     import asyncio
@@ -552,6 +553,7 @@ def run_serve(
                 zipf_s=zipf_s,
                 window=window,
                 deletes_ok=plan.strategy != "insert-only",
+                change_feed=change_feed,
             )
 
     sharded = isinstance(engine.backend, ShardedEngine)
@@ -593,6 +595,17 @@ def run_serve(
         f"p99<={summary['staleness_p99']:.2g}s "
         f"over {summary['reads']} reads"
     )
+    if "feed_deltas" in summary:
+        verdict = "identical" if summary["maintained_ok"] else "MISMATCH"
+        print(
+            f"change feed: {summary['feed_deltas']} deltas "
+            f"({summary['feed_tuples']} tuples, "
+            f"{summary['feed_gaps']} gaps); maintained state of "
+            f"{summary['maintained_entries']} entries {verdict} "
+            f"to a fresh drain"
+        )
+        if not summary["maintained_ok"]:
+            return 1
     if json_path:
         written = write_stats_json(
             json_path,
@@ -855,6 +868,12 @@ def main(argv: list[str] | None = None) -> int:
         "--smoke", action="store_true",
         help="clamp to a short CI-sized run (at most 500 updates)",
     )
+    serve_parser.add_argument(
+        "--change-feed", action="store_true",
+        help="attach a change-feed subscriber that applies every "
+        "per-epoch output delta and verifies the maintained state "
+        "against a fresh drain (exit 1 on mismatch)",
+    )
 
     plot_parser = subparsers.add_parser(
         "benchplot",
@@ -941,6 +960,7 @@ def main(argv: list[str] | None = None) -> int:
             smoke=args.smoke,
             snapshot_reads=False if args.no_snapshot_reads else None,
             codegen=not args.no_codegen,
+            change_feed=args.change_feed,
         )
     if args.command == "benchplot":
         from .bench.plot import benchplot

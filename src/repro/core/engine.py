@@ -293,6 +293,43 @@ class IVMEngine(Observable):
             )
         return self._snapshot_backend().lookup_snapshot(key)
 
+    # ------------------------------------------------------------------
+    # Output change streams (backends that support them)
+    # ------------------------------------------------------------------
+
+    @property
+    def supports_changes(self) -> bool:
+        """Whether the backend emits per-epoch output change deltas."""
+        backend = self._engine
+        return bool(getattr(backend, "supports_changes", False))
+
+    def _changes_backend(self):
+        if not self.supports_changes:
+            raise TypeError(
+                f"plan {self.plan.strategy!r} does not support output "
+                "change streams (needs epoch snapshots and a free-top "
+                "variable order)"
+            )
+        return self._engine
+
+    def track_changes(self) -> None:
+        """Start emitting per-epoch output deltas (idempotent)."""
+        self._changes_backend().track_changes()
+
+    def changes_since(self, epoch: int):
+        """The output delta from published ``epoch`` to the current one.
+
+        Raises ``EpochGapError`` once ``epoch`` leaves the retained
+        window — callers must fall back to a full drain.
+        """
+        return self._changes_backend().changes_since(epoch)
+
+    def subscribe(self, ratio_threshold: float = 0.5):
+        """A ``MaterializedView`` patched in O(δ) per published epoch."""
+        return self._changes_backend().subscribe(
+            ratio_threshold=ratio_threshold
+        )
+
     @property
     def backend(self):
         """The underlying specialised engine (for advanced use)."""

@@ -149,7 +149,16 @@ class GroupIndex:
 class Relation:
     """A finite map from key tuples to non-zero ring payloads."""
 
-    __slots__ = ("name", "schema", "ring", "data", "_indexes", "_cow", "_cow_copied")
+    __slots__ = (
+        "name",
+        "schema",
+        "ring",
+        "data",
+        "_indexes",
+        "_cow",
+        "_cow_copied",
+        "_dirty",
+    )
 
     def __init__(
         self,
@@ -170,6 +179,10 @@ class Relation:
         # copies the dict (counted in _cow_copied) before writing.
         self._cow = False
         self._cow_copied = 0
+        # Opt-in write-time change oracle (see track_dirty): the set of
+        # keys written since the last drain, or None when disabled so the
+        # hot write paths pay only a None test.
+        self._dirty: set | None = None
         if data:
             for key, payload in data.items():
                 self.add(key, payload)
@@ -207,6 +220,36 @@ class Relation:
             groups[group_vars] = shared
             buckets_copied += copied
         return self.data, groups, buckets_copied, tables_copied
+
+    # ------------------------------------------------------------------
+    # Dirty-key tracking (output change streams)
+    # ------------------------------------------------------------------
+
+    def track_dirty(self) -> None:
+        """Start recording the keys of every subsequent write.
+
+        The COW machinery alone cannot serve as a change oracle at key
+        granularity: an index bucket that empties is discarded from the
+        owned set, and payload-only updates never touch the indexes at
+        all.  Tracking is opt-in (``_dirty`` stays ``None`` otherwise) so
+        untracked relations pay one ``None`` test per write.
+        """
+        if self._dirty is None:
+            self._dirty = set()
+
+    def drain_dirty(self) -> set:
+        """Return the keys written since the last drain and reset the set.
+
+        Only meaningful after :meth:`track_dirty`; raises otherwise so a
+        missing enablement surfaces as a hard error, not an empty delta.
+        """
+        dirty = self._dirty
+        if dirty is None:
+            raise RuntimeError(
+                f"relation {self.name!r} is not tracking dirty keys"
+            )
+        self._dirty = set()
+        return dirty
 
     # ------------------------------------------------------------------
     # Lookups and enumeration
@@ -253,6 +296,8 @@ class Relation:
             return self.data.get(key, ring.zero)
         if self._cow:
             self._unshare()
+        if self._dirty is not None:
+            self._dirty.add(key)
         COUNTER.bump("write")
         old = self.data.get(key)
         if old is None:
@@ -291,12 +336,15 @@ class Relation:
         if self._cow:
             self._unshare()
         data = self.data
+        dirty = self._dirty
         indexes = list(self._indexes.values()) if self._indexes else None
         writes = 0
         for key, payload in entries:
             if (payload == zero) if exact else is_zero(payload):
                 continue
             writes += 1
+            if dirty is not None:
+                dirty.add(key)
             old = data.get(key)
             if old is None:
                 data[key] = payload
@@ -327,6 +375,8 @@ class Relation:
             if present:
                 if self._cow:
                     self._unshare()
+                if self._dirty is not None:
+                    self._dirty.add(key)
                 COUNTER.bump("write")
                 del self.data[key]
                 for index in self._indexes.values():
@@ -334,6 +384,8 @@ class Relation:
             return
         if self._cow:
             self._unshare()
+        if self._dirty is not None:
+            self._dirty.add(key)
         COUNTER.bump("write")
         self.data[key] = payload
         if not present:
@@ -361,6 +413,12 @@ class Relation:
             self.add(key, payload)
 
     def clear(self) -> None:
+        # Every present key is (over-)marked dirty: a clear-and-rebuild
+        # cycle (see ViewTreeEngine.rebuild) may rewrite any of them, and
+        # a dirty superset keeps the change oracle exact — unmatched keys
+        # simply re-enumerate identically on both sides of the diff.
+        if self._dirty is not None:
+            self._dirty.update(self.data)
         if self._cow:
             self.data = {}
             self._cow = False

@@ -65,6 +65,12 @@ _SUMMARY_COUNT_KEYS = frozenset(
         "cow_buckets_copied",
         "cow_tables_copied",
         "snapshot_reads",
+        "output_delta_tuples",
+        "deltas_emitted",
+        "delta_tuples",
+        "delta_bytes",
+        "tuples_patched",
+        "full_refresh_fallbacks",
         "kernels_generated",
         "shape_cache_hits",
         "codegen_fallbacks",
@@ -322,6 +328,23 @@ class MaintenanceStats:
         self.snapshot_read_latency = LatencyHistogram()
         self.cow_buckets_copied = 0
         self.cow_tables_copied = 0
+        #: Output delta tuples closed over by epoch publishes (the
+        #: per-epoch output change size next to the COW copy work, so
+        #: delta/state ratios are visible straight from ``stats``).
+        self.output_delta_tuples = 0
+        #: Output change-stream accounting (repro.viewtree.changes):
+        #: per-epoch deltas emitted with their tuple and wire-byte
+        #: volume, subscriber patch latency, tuples patched into
+        #: subscriber materializations, full-drain fallbacks (ratio
+        #: threshold or epoch gap), and the delta/state ratio
+        #: distribution in percent.
+        self.deltas_emitted = 0
+        self.delta_tuples = 0
+        self.delta_bytes = 0
+        self.tuples_patched = 0
+        self.patch_time = LatencyHistogram()
+        self.full_refresh_fallbacks = 0
+        self.delta_ratio = CountHistogram()
         #: Codegen accounting (repro.viewtree.codegen): kernels exec'd
         #: from generated source, wall-clock spent generating+compiling,
         #: plan shapes served from the process-wide factory cache, and
@@ -539,19 +562,58 @@ class MaintenanceStats:
             self.commit_errors += 1
 
     def record_epoch_publish(
-        self, buckets_copied: int = 0, tables_copied: int = 0
+        self,
+        buckets_copied: int = 0,
+        tables_copied: int = 0,
+        delta_tuples: int = 0,
     ) -> None:
-        """One epoch publish, with the copy-on-write work it closed over."""
+        """One epoch publish, with the copy-on-write work it closed over.
+
+        ``delta_tuples`` is the size of the output change delta the
+        publish emitted (0 when change tracking is off), recorded next
+        to the COW counters so delta/state ratios show up in ``stats``
+        without running a bench.
+        """
         with self._lock:
             self.epochs_published += 1
             self.cow_buckets_copied += buckets_copied
             self.cow_tables_copied += tables_copied
+            self.output_delta_tuples += delta_tuples
 
     def record_snapshot_read(self, seconds: float) -> None:
         """One snapshot-mode read with its end-to-end latency."""
         with self._lock:
             self.snapshot_reads += 1
             self.snapshot_read_latency.record(seconds)
+
+    def record_change_delta(self, tuples: int, bytes_: int = 0) -> None:
+        """One per-epoch output delta emitted by the change tracker.
+
+        ``bytes_`` is the columnar wire volume when the delta crossed a
+        worker pipe (0 for in-process streams).
+        """
+        with self._lock:
+            self.deltas_emitted += 1
+            self.delta_tuples += tuples
+            self.delta_bytes += bytes_
+
+    def record_change_patch(
+        self, seconds: float, tuples: int, ratio: float
+    ) -> None:
+        """One subscriber materialization patched in O(δ).
+
+        ``ratio`` is delta size over materialization size; it lands in
+        the percent-bucketed ``delta_ratio`` histogram.
+        """
+        with self._lock:
+            self.tuples_patched += tuples
+            self.patch_time.record(seconds)
+            self.delta_ratio.record(int(ratio * 100))
+
+    def record_full_refresh(self) -> None:
+        """One subscriber full-drain fallback (ratio threshold or gap)."""
+        with self._lock:
+            self.full_refresh_fallbacks += 1
 
     def record_codegen(
         self,
@@ -663,6 +725,12 @@ class MaintenanceStats:
                 "cow_buckets_copied": other.cow_buckets_copied,
                 "cow_tables_copied": other.cow_tables_copied,
                 "snapshot_reads": other.snapshot_reads,
+                "output_delta_tuples": other.output_delta_tuples,
+                "deltas_emitted": other.deltas_emitted,
+                "delta_tuples": other.delta_tuples,
+                "delta_bytes": other.delta_bytes,
+                "tuples_patched": other.tuples_patched,
+                "full_refresh_fallbacks": other.full_refresh_fallbacks,
                 "kernels_generated": other.kernels_generated,
                 "codegen_time_ms": other.codegen_time_ms,
                 "shape_cache_hits": other.shape_cache_hits,
@@ -684,6 +752,14 @@ class MaintenanceStats:
             self.cow_tables_copied += other.cow_tables_copied
             self.snapshot_reads += other.snapshot_reads
             self.snapshot_read_latency.merge(other.snapshot_read_latency)
+            self.output_delta_tuples += other.output_delta_tuples
+            self.deltas_emitted += other.deltas_emitted
+            self.delta_tuples += other.delta_tuples
+            self.delta_bytes += other.delta_bytes
+            self.tuples_patched += other.tuples_patched
+            self.patch_time.merge(other.patch_time)
+            self.full_refresh_fallbacks += other.full_refresh_fallbacks
+            self.delta_ratio.merge(other.delta_ratio)
             self.kernels_generated += other.kernels_generated
             self.codegen_time_ms += other.codegen_time_ms
             self.shape_cache_hits += other.shape_cache_hits
@@ -749,6 +825,14 @@ class MaintenanceStats:
         self.snapshot_read_latency.merge(other.snapshot_read_latency)
         self.cow_buckets_copied += other.cow_buckets_copied
         self.cow_tables_copied += other.cow_tables_copied
+        self.output_delta_tuples += other.output_delta_tuples
+        self.deltas_emitted += other.deltas_emitted
+        self.delta_tuples += other.delta_tuples
+        self.delta_bytes += other.delta_bytes
+        self.tuples_patched += other.tuples_patched
+        self.patch_time.merge(other.patch_time)
+        self.full_refresh_fallbacks += other.full_refresh_fallbacks
+        self.delta_ratio.merge(other.delta_ratio)
         self.kernels_generated += other.kernels_generated
         self.codegen_time_ms += other.codegen_time_ms
         self.shape_cache_hits += other.shape_cache_hits
@@ -860,6 +944,16 @@ class MaintenanceStats:
                 "read_latency": self.snapshot_read_latency.to_dict(),
                 "cow_buckets_copied": self.cow_buckets_copied,
                 "cow_tables_copied": self.cow_tables_copied,
+                "output_delta_tuples": self.output_delta_tuples,
+            },
+            "changes": {
+                "deltas_emitted": self.deltas_emitted,
+                "delta_tuples": self.delta_tuples,
+                "delta_bytes": self.delta_bytes,
+                "tuples_patched": self.tuples_patched,
+                "patch_time": self.patch_time.to_dict(),
+                "full_refresh_fallbacks": self.full_refresh_fallbacks,
+                "delta_ratio_pct": self.delta_ratio.to_dict(),
             },
             "memory": {
                 "total_view_size": self.view_size.to_dict(),
@@ -985,13 +1079,30 @@ class MaintenanceStats:
                 f"epochs: {self.epochs_published} published  "
                 f"snapshot reads: {self.snapshot_reads}  "
                 f"cow: {self.cow_buckets_copied} buckets / "
-                f"{self.cow_tables_copied} tables copied"
+                f"{self.cow_tables_copied} tables copied  "
+                f"output delta tuples: {self.output_delta_tuples}"
             )
             if self.snapshot_reads:
                 lines.append(
                     "  " + latency_line(
                         "snapshot read", self.snapshot_read_latency
                     )
+                )
+        if self.deltas_emitted or self.full_refresh_fallbacks:
+            lines.append(
+                f"changes: {self.deltas_emitted} deltas "
+                f"({self.delta_tuples} tuples, {self.delta_bytes} wire "
+                f"bytes)  patched: {self.tuples_patched} tuples  "
+                f"full refreshes: {self.full_refresh_fallbacks}"
+            )
+            if self.patch_time.count:
+                lines.append("  " + latency_line("patch", self.patch_time))
+            if self.delta_ratio.count:
+                lines.append(
+                    f"  delta/state ratio: "
+                    f"mean={self.delta_ratio.stat.mean:.3g}%  "
+                    f"p50<={self.delta_ratio.percentile(0.5):g}%  "
+                    f"max={self.delta_ratio.stat.maximum:g}%"
                 )
         if self.delta_sizes:
             lines.append("delta sizes per view:")

@@ -25,10 +25,11 @@ view fresh **while it is being queried**.  Three pieces:
 
 from .batcher import GroupCommitQueue
 from .loadgen import run_load_test, update_stream, value_sampler
-from .server import AsyncIVMServer
+from .server import AsyncIVMServer, ChangeFeed
 
 __all__ = [
     "AsyncIVMServer",
+    "ChangeFeed",
     "GroupCommitQueue",
     "run_load_test",
     "update_stream",

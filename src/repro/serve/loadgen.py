@@ -22,6 +22,7 @@ from collections import deque
 from typing import Any, Callable, Iterator
 
 from ..data.update import Update
+from ..viewtree.changes import EpochGapError
 
 
 def value_sampler(
@@ -130,6 +131,7 @@ async def run_load_test(
     zipf_s: float = 1.2,
     window: int = 256,
     deletes_ok: bool = True,
+    change_feed: bool = False,
 ) -> dict[str, Any]:
     """Drive ``server`` closed-loop and return a summary dict.
 
@@ -140,6 +142,13 @@ async def run_load_test(
     end-to-end rate (submit of first update to drain of last), the
     maintenance-only rate (updates over summed commit time), and the
     commit-latency / read-staleness percentiles from the recorder.
+
+    With ``change_feed=True`` (engines with change-stream support) a
+    subscriber task seeds an absolute state from ``enumerate()`` and
+    applies every per-epoch delta the feed delivers; the summary then
+    carries ``feed_deltas`` / ``feed_tuples`` / ``feed_gaps`` and
+    ``maintained_ok`` — whether the delta-maintained state finished
+    identical to a fresh server enumeration.
     """
     writers = max(int(writers), 1)
     head = tuple(query.head)
@@ -179,6 +188,34 @@ async def run_load_test(
             reads += 1
             await asyncio.sleep(0)
 
+    feed = None
+    feed_task = None
+    feed_state: dict = {}
+    feed_counts = {"deltas": 0, "tuples": 0, "gaps": 0}
+    if change_feed:
+        feed_state.update(await server.enumerate())
+        feed = server.subscribe()
+
+        async def consume() -> None:
+            while True:
+                try:
+                    delta = await feed.__anext__()
+                except StopAsyncIteration:
+                    return
+                except EpochGapError:
+                    # Stream gapped (e.g. worker pool rebuild): re-seed
+                    # with an absolute drain and keep consuming.
+                    feed_counts["gaps"] += 1
+                    fresh = dict(await server.enumerate())
+                    feed_state.clear()
+                    feed_state.update(fresh)
+                    continue
+                feed_counts["deltas"] += 1
+                feed_counts["tuples"] += len(delta)
+                delta.apply_to(feed_state)
+
+        feed_task = asyncio.get_running_loop().create_task(consume())
+
     start = time.perf_counter()
     reader_tasks = [
         asyncio.get_running_loop().create_task(read())
@@ -195,6 +232,15 @@ async def run_load_test(
             await asyncio.gather(*reader_tasks, return_exceptions=True)
     seconds = time.perf_counter() - start
 
+    maintained_ok = None
+    if feed is not None:
+        # Everything is committed and published; the close sentinel
+        # queues behind any still-undelivered deltas, so the consumer
+        # drains them all before exiting.
+        feed.close()
+        await feed_task
+        maintained_ok = feed_state == dict(await server.enumerate())
+
     stats = getattr(server, "stats", None)
     summary: dict[str, Any] = {
         "updates": updates,
@@ -204,6 +250,16 @@ async def run_load_test(
         "seconds": seconds,
         "rate_end_to_end": updates / seconds if seconds > 0 else 0.0,
     }
+    if feed is not None:
+        summary.update(
+            {
+                "feed_deltas": feed_counts["deltas"],
+                "feed_tuples": feed_counts["tuples"],
+                "feed_gaps": feed_counts["gaps"],
+                "maintained_entries": len(feed_state),
+                "maintained_ok": maintained_ok,
+            }
+        )
     if stats is not None:
         commit_seconds = stats.commit_latency.stat.total
         summary.update(

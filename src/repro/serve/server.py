@@ -29,7 +29,46 @@ from typing import Any, Iterable
 
 from ..obs import MaintenanceStats, Observable
 from ..obs.instrument import share_stats
+from ..viewtree.changes import EpochGapError, OutputDelta
 from .batcher import GroupCommitQueue, QueueClosed
+
+#: Terminal sentinel pushed into every change feed at server stop.
+_FEED_CLOSED = object()
+
+
+class ChangeFeed:
+    """An async iterator of per-epoch :class:`OutputDelta` objects.
+
+    Obtained from :meth:`AsyncIVMServer.subscribe`.  Each committed
+    batch that publishes an epoch pushes exactly one delta; iterate
+    with ``async for delta in feed``.  A feed starts at the epoch
+    current when it subscribed — seed an absolute state with
+    ``await server.enumerate()`` first, then apply deltas.  If the
+    stream gaps (e.g. a shard worker-pool rebuild reset the change
+    window), the iterator raises :class:`EpochGapError`: re-seed with a
+    full ``enumerate()`` and keep iterating.  The feed ends
+    (``StopAsyncIteration``) when the server stops.
+    """
+
+    def __init__(self, server: "AsyncIVMServer"):
+        self._server = server
+        self._queue: asyncio.Queue = asyncio.Queue()
+
+    def __aiter__(self) -> "ChangeFeed":
+        return self
+
+    async def __anext__(self) -> OutputDelta:
+        item = await self._queue.get()
+        if item is _FEED_CLOSED:
+            raise StopAsyncIteration
+        if isinstance(item, BaseException):
+            raise item
+        return item
+
+    def close(self) -> None:
+        """Unsubscribe; pending deltas are dropped."""
+        self._server._feeds.discard(self)
+        self._queue.put_nowait(_FEED_CLOSED)
 
 
 class AsyncIVMServer(Observable):
@@ -90,6 +129,21 @@ class AsyncIVMServer(Observable):
         self._committer: asyncio.Task | None = None
         self._error: BaseException | None = None
         self._closed = False
+        #: Server-held MaterializedView: when the engine emits change
+        #: streams, ``enumerate`` answers from this O(δ)-maintained
+        #: state instead of re-draining the whole epoch per call.
+        self._matview = None
+        #: The engine object carrying ``epoch``/``changes_since`` (the
+        #: facade's backend), feeding change feeds from commits.
+        self._change_source = None
+        self._feed_epoch = 0
+        self._feeds: set[ChangeFeed] = set()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        #: Lock-serialized fallback: committed-state enumerations are
+        #: cached per commit sequence number, so repeated reads between
+        #: commits stop re-materializing an unchanged output.
+        self._commit_seq = 0
+        self._enum_cache: tuple[int, list] | None = None
         if stats is not None:
             self.attach_stats(stats)
 
@@ -105,13 +159,21 @@ class AsyncIVMServer(Observable):
         if self._closed:
             raise RuntimeError("server already stopped")
         if self._committer is None:
+            self._loop = asyncio.get_running_loop()
             if self.snapshot_reads:
                 # Publish the pre-ingestion state so reads served before
                 # the first commit already see a consistent epoch.
                 self.engine.publish_epoch()
-            self._committer = asyncio.get_running_loop().create_task(
-                self._commit_loop()
-            )
+                if getattr(self.engine, "supports_changes", False):
+                    # Maintained read state + change-feed plumbing: the
+                    # subscription publishes its tracking baseline now,
+                    # before any commit is in flight.
+                    self._matview = self.engine.subscribe()
+                    self._change_source = getattr(
+                        self.engine, "backend", self.engine
+                    )
+                    self._feed_epoch = self._change_source.epoch
+            self._committer = self._loop.create_task(self._commit_loop())
         return self
 
     async def stop(self) -> None:
@@ -125,6 +187,9 @@ class AsyncIVMServer(Observable):
             await self._committer
             self._committer = None
         self._idle.set()
+        for feed in list(self._feeds):
+            feed._queue.put_nowait(_FEED_CLOSED)
+        self._feeds.clear()
         self._reraise()
 
     async def __aenter__(self) -> "AsyncIVMServer":
@@ -214,10 +279,23 @@ class AsyncIVMServer(Observable):
     async def enumerate(self) -> list[tuple[tuple, Any]]:
         """Materialize the committed output.
 
-        Snapshot reads enumerate the last published epoch lock-free;
-        otherwise the enumeration serializes against commits.
+        With change streams the server holds a ``MaterializedView``
+        patched in O(δ) per published epoch, so a steady-state call
+        costs one catch-up patch plus the list build — not a full
+        re-drain.  Plain snapshot reads enumerate the last published
+        epoch lock-free; the lock-serialized fallback caches the
+        result per commit so unchanged state is never re-materialized.
         """
         self._reraise()
+        view = self._matview
+        if view is not None:
+            start = time.perf_counter()
+            view.refresh()
+            result = list(view.items())
+            stats = self._maintenance_stats
+            if stats is not None:
+                stats.record_snapshot_read(time.perf_counter() - start)
+            return result
         if self.snapshot_reads:
             start = time.perf_counter()
             result = list(self.engine.enumerate_snapshot())
@@ -226,7 +304,12 @@ class AsyncIVMServer(Observable):
                 stats.record_snapshot_read(time.perf_counter() - start)
             return result
         async with self._commit_lock:
-            return list(self.engine.enumerate())
+            cached = self._enum_cache
+            if cached is not None and cached[0] == self._commit_seq:
+                return list(cached[1])
+            result = list(self.engine.enumerate())
+            self._enum_cache = (self._commit_seq, result)
+            return list(result)
 
     async def scalar(self) -> Any:
         """Committed payload of a Boolean (empty-head) query."""
@@ -240,6 +323,31 @@ class AsyncIVMServer(Observable):
             return result
         async with self._commit_lock:
             return self.engine.scalar()
+
+    # ------------------------------------------------------------------
+    # Change feeds
+    # ------------------------------------------------------------------
+
+    def subscribe(self) -> ChangeFeed:
+        """Subscribe to per-epoch output deltas (one per commit).
+
+        Requires an engine with change-stream support and snapshot
+        reads (the default when supported).  Seed an absolute state
+        with :meth:`enumerate` first; see :class:`ChangeFeed`.
+        """
+        if self._change_source is None:
+            raise TypeError(
+                "change feeds need an engine with output change streams "
+                "(supports_changes) and snapshot reads enabled"
+            )
+        feed = ChangeFeed(self)
+        self._feeds.add(feed)
+        return feed
+
+    def _fanout_changes(self, item) -> None:
+        """Deliver one delta (or gap error) to every feed (loop thread)."""
+        for feed in list(self._feeds):
+            feed._queue.put_nowait(item)
 
     # ------------------------------------------------------------------
     # Internals
@@ -279,8 +387,21 @@ class AsyncIVMServer(Observable):
         answering from the last good epoch.
         """
         self.engine.apply_batch(batch)
+        self._commit_seq += 1
         if self.snapshot_reads:
             self.engine.publish_epoch()
+            source = self._change_source
+            if source is not None:
+                prev = self._feed_epoch
+                self._feed_epoch = source.epoch
+                if self._feeds:
+                    try:
+                        item = source.changes_since(prev)
+                    except EpochGapError as exc:
+                        item = exc
+                    loop = self._loop
+                    if loop is not None:
+                        loop.call_soon_threadsafe(self._fanout_changes, item)
 
     async def _commit_loop(self) -> None:
         loop = asyncio.get_running_loop()

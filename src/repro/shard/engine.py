@@ -64,6 +64,13 @@ from ..obs import MaintenanceStats, Observable, observed, observed_enumeration
 from ..query.ast import Query
 from ..query.variable_order import VariableOrder, order_for
 from ..rings.lifting import LiftingMap
+from ..viewtree.changes import (
+    DeltaWindow,
+    EpochGapError,
+    MaterializedView,
+    OutputDelta,
+    decode_delta,
+)
 from ..viewtree.engine import ViewTreeEngine
 from .router import (
     ShardLeafFilter,
@@ -193,6 +200,10 @@ class ShardedEngine(Observable):
         self.epoch = 0
         self._epoch_snapshot: tuple | None = None
         self._published_epoch: int | None = None
+        #: Coordinator-side change tracker (see :meth:`track_changes`):
+        #: folds per-shard output deltas into merged coordinator-epoch
+        #: deltas so subscribers patch in O(δ) across all shards.
+        self._change_tracker: _ShardChangeTracker | None = None
 
     # ------------------------------------------------------------------
     # Executor plumbing
@@ -256,6 +267,12 @@ class ShardedEngine(Observable):
             )
         if self._published_epoch is not None:
             pool.broadcast(("publish_epoch", self._published_epoch))
+        if self._change_tracker is not None:
+            # Fresh workers carry no change-tracking state; the next
+            # coordinator publish resynchronizes (re-enables tracking,
+            # re-pulls shard output states) and resets the delta
+            # window, so stale subscribers fall back to a full drain.
+            self._change_tracker.mark_stale()
         return pool
 
     def _absorb(self, pairs, wall_s: float, commit: bool = False) -> None:
@@ -350,6 +367,10 @@ class ShardedEngine(Observable):
         state = self.__dict__.copy()
         state["_pool"] = None
         state["_worker_pool"] = None
+        # Change tracking holds per-shard state keyed to this process's
+        # epochs; a restored copy re-enables on demand and stale
+        # subscribers full-drain.
+        state["_change_tracker"] = None
         return state
 
     def __enter__(self) -> "ShardedEngine":
@@ -583,13 +604,20 @@ class ShardedEngine(Observable):
             replies = self._pool_broadcast(("publish_epoch", number))
             self.epoch = number
             self._published_epoch = number
+            tracker = self._change_tracker
+            delta = tracker.on_publish(number) if tracker is not None else None
             if record:
                 stats = self._maintenance_stats
                 if stats is not None:
                     stats.record_epoch_publish(
                         sum(reply.payload[0] for reply in replies),
                         sum(reply.payload[1] for reply in replies),
+                        len(delta) if delta is not None else 0,
                     )
+                    if delta is not None:
+                        stats.record_change_delta(
+                            len(delta), tracker.last_bytes
+                        )
             return number
         pairs = tuple(
             (engine, engine.publish_epoch(record=False))
@@ -597,13 +625,18 @@ class ShardedEngine(Observable):
         )
         self.epoch += 1
         self._epoch_snapshot = pairs
+        tracker = self._change_tracker
+        delta = tracker.on_publish(self.epoch) if tracker is not None else None
         if record:
             stats = self._maintenance_stats
             if stats is not None:
                 stats.record_epoch_publish(
                     sum(snap.cow_buckets for _, snap in pairs),
                     sum(snap.cow_tables for _, snap in pairs),
+                    len(delta) if delta is not None else 0,
                 )
+                if delta is not None:
+                    stats.record_change_delta(len(delta), tracker.last_bytes)
         return pairs
 
     def _snapshot_pairs(self) -> tuple:
@@ -692,6 +725,63 @@ class ShardedEngine(Observable):
             for key, payload in engine._enumerate(prebound, None, epoch=snap):
                 out.add(key, payload)
         yield from out.data.items()
+
+    # ------------------------------------------------------------------
+    # Output change streams (merged per-shard deltas)
+    # ------------------------------------------------------------------
+
+    @property
+    def supports_changes(self) -> bool:
+        """Whether per-epoch output change streams are available.
+
+        Mirrors :attr:`ViewTreeEngine.supports_changes`: empty-head
+        queries always qualify; otherwise the order must be free-top.
+        """
+        return not self.query.head or self.order.is_free_top()
+
+    def track_changes(self) -> None:
+        """Enable merged per-epoch output delta emission (idempotent).
+
+        Publishes a fresh coordinator epoch as the tracking baseline;
+        every subsequent :meth:`publish_epoch` pulls each shard's
+        output delta (delta-IPC: the worker ``changes`` command; local
+        executors: the shard engine's own change window) and folds them
+        — in shard order, mimicking the merged-read ``Relation.add``
+        fold exactly — into one coordinator-epoch
+        :class:`~repro.viewtree.changes.OutputDelta`.
+        """
+        if self._change_tracker is not None:
+            return
+        if not self.supports_changes:
+            raise TypeError(
+                "change streams require a free-top variable order; "
+                f"order for {self.query.name!r} interleaves bound "
+                "variables above free ones"
+            )
+        self._change_tracker = _ShardChangeTracker(self)
+
+    def changes_since(self, epoch: int) -> OutputDelta:
+        """The merged output delta from coordinator ``epoch`` to now.
+
+        Raises :class:`~repro.viewtree.changes.EpochGapError` when
+        ``epoch`` has left the retained window or the stream was
+        interrupted by a worker-pool rebuild — callers must full-drain,
+        never patch partially.
+        """
+        self.track_changes()
+        tracker = self._change_tracker
+        if tracker.stale or tracker.window.epoch != self.epoch:
+            raise EpochGapError(
+                "change stream interrupted (worker pool rebuilt, or "
+                "tracking enabled after the requested epoch); "
+                "a full drain is required"
+            )
+        return tracker.window.changes_since(epoch)
+
+    def subscribe(self, ratio_threshold: float = 0.5) -> MaterializedView:
+        """A reader-side materialization patched in O(δ) per epoch."""
+        self.track_changes()
+        return MaterializedView(self, ratio_threshold=ratio_threshold)
 
     def _lookup_owner(self, prebound: dict[str, Any]) -> int | None:
         """The single shard that can own this key, when pinnable."""
@@ -925,3 +1015,188 @@ class ShardedEngine(Observable):
         for index, stats in enumerate(self.shard_stats):
             merged.merge(stats, label=f"shard{index}")
         return merged
+
+
+class _ShardChangeTracker:
+    """Folds per-shard output deltas into merged coordinator deltas.
+
+    Shard outputs are **not** disjoint in general (the shard variable
+    need not appear in the head), so a merged payload is the shard-order
+    ring fold of the per-shard payloads — exactly what
+    ``ShardedEngine._merged_output`` computes by replaying every shard
+    entry through ``Relation.add``.  To diff that merge in O(δ) the
+    tracker keeps each shard's *absolute* output state in a plain dict
+    (seeded from a snapshot enumeration at enable time, then patched by
+    the very deltas it pulls), re-folds only the keys named by some
+    shard's delta, and emits the keys whose merged payload moved.
+
+    Epoch addressing: per-shard deltas are pulled eagerly at every
+    coordinator publish, so the window advances in lockstep with
+    ``ShardedEngine.epoch`` and workers are only ever asked for the
+    one-epoch step ``(prev, number)`` — comfortably inside the worker's
+    ``RETAIN_EPOCHS`` change window.  A worker-pool rebuild (or a
+    pickled-engine adoption replacing local shard engines) loses the
+    shard-side tracking state; the tracker marks itself stale,
+    resynchronizes at the next publish, and resets the window so stale
+    subscribers observe :class:`EpochGapError` and full-drain instead
+    of patching against a hole.
+    """
+
+    __slots__ = (
+        "owner", "ring", "window", "shard_states", "last_bytes",
+        "stale", "_shard_epochs",
+    )
+
+    def __init__(self, owner: ShardedEngine):
+        self.owner = owner
+        self.ring = owner.ring
+        self.last_bytes = 0
+        self.stale = False
+        self.window: DeltaWindow | None = None
+        self.shard_states: list[dict] | None = None
+        self._shard_epochs: list[int] | None = None
+        if owner._delta_ipc:
+            # Enable worker-side tracking first (each worker baselines
+            # at a fresh engine epoch), then publish one coordinator
+            # epoch so the workers record the coordinator-number ->
+            # engine-number mapping, then pull the per-shard output
+            # states frozen at that epoch.
+            owner._pool_broadcast(("track_changes", None))
+            owner.publish_epoch(record=False)
+            number = owner.epoch
+            self._seed_states_delta(number)
+        else:
+            for engine in owner.engines:
+                engine.track_changes()
+            owner.publish_epoch(record=False)
+            self._seed_states_local()
+        self.window = DeltaWindow(owner.epoch)
+
+    # -- state seeding --------------------------------------------------
+
+    def _seed_states_delta(self, number: int) -> None:
+        replies = self.owner._pool_broadcast(("enumerate", None, number, False))
+        self.shard_states = [dict(reply.items or []) for reply in replies]
+
+    def _seed_states_local(self) -> None:
+        owner = self.owner
+        pairs = owner._epoch_snapshot
+        self.shard_states = [
+            dict(engine._enumerate(None, None, epoch=snap))
+            for engine, snap in pairs
+        ]
+        self._shard_epochs = [engine.epoch for engine in owner.engines]
+
+    # -- publish hook ---------------------------------------------------
+
+    def mark_stale(self) -> None:
+        self.stale = True
+
+    def on_publish(self, number: int) -> OutputDelta | None:
+        """Pull, merge, and retain the delta for coordinator ``number``.
+
+        Called from ``ShardedEngine.publish_epoch`` right after the
+        epoch advanced.  Returns ``None`` when the stream had to resync
+        instead of emitting (stale workers / replaced engines): the
+        window restarts at ``number`` and older subscribers full-drain.
+        """
+        owner = self.owner
+        self.last_bytes = 0
+        if self.stale:
+            self._resync(number)
+            return None
+        prev = self.window.epoch
+        if owner._delta_ipc:
+            try:
+                replies = owner._pool_broadcast(("changes", prev, number))
+            except ShardWorkerError:
+                # Transport or protocol failure mid-stream: the publish
+                # itself already succeeded, so poison the pool (a remote
+                # app error leaves pipes desynchronized) and resync at
+                # the next publish.
+                pool = owner._worker_pool
+                if pool is not None:
+                    pool.broken = True
+                self.stale = True
+                return None
+            shard_deltas = [
+                decode_delta(reply.payload, self.ring) for reply in replies
+            ]
+            self.last_bytes = sum(reply.bytes_received for reply in replies)
+        else:
+            shard_deltas = []
+            try:
+                for index, engine in enumerate(owner.engines):
+                    shard_deltas.append(
+                        engine.changes_since(self._shard_epochs[index])
+                    )
+            except EpochGapError:
+                # A replaced engine (pickled-engine executor adoption)
+                # lost its tracker; its fresh baseline cannot answer for
+                # the old epoch.  Resync from current state.
+                self._resync(number)
+                return None
+            for index, engine in enumerate(owner.engines):
+                self._shard_epochs[index] = engine.epoch
+        delta = self._merge(prev, number, shard_deltas)
+        self.window.append(delta)
+        return delta
+
+    def _resync(self, number: int) -> None:
+        """Rebuild tracking state at already-published epoch ``number``."""
+        owner = self.owner
+        if owner._delta_ipc:
+            owner._pool_broadcast(("track_changes", number))
+            self._seed_states_delta(number)
+        else:
+            states = []
+            epochs = []
+            for engine in owner.engines:
+                engine.track_changes()
+                snap = engine.snapshot()
+                states.append(dict(engine._enumerate(None, None, epoch=snap)))
+                epochs.append(engine.epoch)
+            self.shard_states = states
+            self._shard_epochs = epochs
+        self.window.reset(number)
+        self.stale = False
+
+    # -- merging --------------------------------------------------------
+
+    def _fold(self, key: tuple) -> Any:
+        """The merged payload for ``key``: shard-order ``Relation.add``.
+
+        ``None`` encodes "absent from the merged output" — per-shard
+        states never store ring zeros, and an intermediate fold hitting
+        the ring zero deletes the entry exactly as ``Relation.add``
+        would, so the result is bit-identical to a merged full drain.
+        """
+        ring = self.ring
+        acc = None
+        for state in self.shard_states:
+            payload = state.get(key)
+            if payload is None:
+                continue
+            if acc is None:
+                acc = payload
+            else:
+                acc = ring.add(acc, payload)
+                if ring.is_zero(acc):
+                    acc = None
+        return acc
+
+    def _merge(self, prev: int, number: int, shard_deltas) -> OutputDelta:
+        touched = set()
+        for delta in shard_deltas:
+            for key, _old, _new in delta:
+                touched.add(key)
+        olds = {key: self._fold(key) for key in touched}
+        for state, delta in zip(self.shard_states, shard_deltas):
+            delta.apply_to(state)
+        entries = []
+        for key in touched:
+            old = olds[key]
+            new = self._fold(key)
+            if old != new:
+                entries.append((key, old, new))
+        return OutputDelta(prev, number, entries)

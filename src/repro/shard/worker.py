@@ -65,6 +65,7 @@ from ..query.ast import Query
 from ..query.variable_order import VariableOrder
 from ..rings.base import Semiring
 from ..rings.lifting import LiftingMap
+from ..viewtree.changes import RETAIN_EPOCHS, EpochGapError, encode_delta
 from .router import ShardLeafFilter, ShardRouter
 
 try:  # pragma: no cover - exercised indirectly via the encoders
@@ -72,10 +73,11 @@ try:  # pragma: no cover - exercised indirectly via the encoders
 except Exception:  # pragma: no cover - numpy is baked into CI images
     _np = None
 
-#: How many published epochs each worker keeps addressable.  The serve
-#: tier reads the latest published epoch while the next one is being
-#: published; anything older than a couple of epochs has no readers.
-RETAIN_EPOCHS = 4
+# RETAIN_EPOCHS (how many published epochs each worker keeps
+# addressable) is imported from repro.viewtree.changes so the worker
+# snapshot window and the output change window always retain the same
+# span.  The serve tier reads the latest published epoch while the
+# next one is being published; anything older has no readers.
 
 #: Streamed enumeration chunk size (entries per ``("chunk", ...)``).
 CHUNK_SIZE = 4096
@@ -206,6 +208,11 @@ class _WorkerRuntime:
         self.ring = self.engine.ring
         #: Coordinator epoch number -> this shard's EpochSnapshot.
         self.snapshots: dict[int, Any] = {}
+        #: Coordinator epoch number -> this shard's *engine* epoch
+        #: number, maintained once change tracking is enabled so the
+        #: ``changes`` command can translate the coordinator's epoch
+        #: addressing into the engine's own delta window.
+        self._change_epochs: dict[int, int] | None = None
 
     def take_stats(self) -> MaintenanceStats:
         """Swap in a fresh recorder and return the accumulated delta."""
@@ -245,7 +252,38 @@ class _WorkerRuntime:
         self.snapshots[number] = snap
         for stale in sorted(self.snapshots)[:-RETAIN_EPOCHS]:
             del self.snapshots[stale]
+        epochs = self._change_epochs
+        if epochs is not None:
+            epochs[number] = snap.number
+            for stale in sorted(epochs)[: -(RETAIN_EPOCHS + 1)]:
+                del epochs[stale]
         return (snap.cow_buckets, snap.cow_tables), None
+
+    def _cmd_track_changes(self, number: int | None):
+        """Enable output change tracking on the shard engine.
+
+        ``number`` is the coordinator epoch the freshly published
+        tracking baseline should be addressable as (``None`` when the
+        coordinator publishes a new epoch right after enabling).
+        """
+        self.engine.track_changes()
+        if number is None:
+            self._change_epochs = {}
+        else:
+            self._change_epochs = {number: self.engine.epoch}
+        return None, None
+
+    def _cmd_changes(self, from_number: int, to_number: int):
+        """Ship this shard's output delta between two coordinator epochs."""
+        epochs = self._change_epochs
+        if epochs is None or from_number not in epochs:
+            raise EpochGapError(
+                f"shard {self.spec.shard}: coordinator epoch {from_number} "
+                f"not in change window (have "
+                f"{sorted(epochs) if epochs else []})"
+            )
+        delta = self.engine.changes_since(epochs[from_number])
+        return encode_delta(delta, self.ring), None
 
     def _snapshot(self, number: int):
         snap = self.snapshots.get(number)

@@ -1,5 +1,11 @@
 """View trees: higher-order factorized IVM (Sections 3.2 and 4.1)."""
 
+from .changes import (
+    EpochGapError,
+    MaterializedView,
+    OutputDelta,
+    RETAIN_EPOCHS,
+)
 from .codegen import (
     DeltaKernel,
     EnumKernel,
@@ -27,6 +33,10 @@ __all__ = [
     "EagerFact",
     "EnumKernel",
     "EnumPlan",
+    "EpochGapError",
+    "MaterializedView",
+    "OutputDelta",
+    "RETAIN_EPOCHS",
     "compile_delta_kernel",
     "compile_delta_plans",
     "compile_enum_kernel",

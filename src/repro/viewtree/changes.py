@@ -1,0 +1,471 @@
+"""Per-epoch output change streams: O(δ) maintained reads.
+
+IVM's founding bargain (PAPER.md §3–§4) is that consumers pay for
+*changes*, not recomputation — yet a full materialization
+(``output_relation`` / ``enumerate_snapshot``) re-drains the whole
+output in O(view size) even when a commit touched a handful of tuples.
+This module closes that gap at the serving boundary: after each
+``publish_epoch()`` the engine diffs the new snapshot against the
+previous one and emits a compact :class:`OutputDelta` —
+``(epoch_from, epoch_to, [(key, old_payload, new_payload)])`` — that a
+:class:`MaterializedView` subscriber applies in O(δ).
+
+**Change oracle.** Bucket-level COW alone cannot name the changed keys
+(an emptied index bucket is discarded from the owned set, and
+payload-only updates never touch indexes), so tracked relations record
+the *keys* of their writes (:meth:`Relation.track_dirty` — a single
+``None`` test per write when disabled).  Only the relations the
+enumeration actually reads are tracked: free-node guards and leaves,
+and the boundary views of non-free subtrees.  In a free-top order every
+one of those has schema ⊆ head, so a dirty key *is* a pattern over head
+variables: any output tuple whose enumeration changed must project onto
+some dirty key, and re-enumerating both snapshots under each pattern
+(``prebound`` probes, O(1) per step) yields exactly the changed region.
+Untouched patterns enumerate identically on both sides and are never
+visited.  Empty-head queries shortcut to an O(1) scalar comparison.
+
+**Retention.** Per-epoch deltas live in a window of
+:data:`RETAIN_EPOCHS` (matching the shard workers' snapshot window);
+``changes_since`` composes them and raises :class:`EpochGapError` for
+anything older — never a silent partial delta.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Iterator
+
+try:  # pragma: no cover - exercised indirectly via the encoders
+    import numpy as _np
+except Exception:  # pragma: no cover - numpy is baked into CI images
+    _np = None
+
+#: How many per-epoch deltas stay addressable.  Deliberately equal to
+#: the shard workers' snapshot window (`repro.shard.worker` imports
+#: this), so a subscriber that can catch up on a local engine can catch
+#: up on a sharded one too.
+RETAIN_EPOCHS = 4
+
+
+class EpochGapError(RuntimeError):
+    """Changes requested from an epoch outside the retained window.
+
+    Raised instead of returning a partial delta; consumers
+    (:class:`MaterializedView`) fall back to a full drain.
+    """
+
+
+class OutputDelta:
+    """The output view's change between two published epochs.
+
+    ``entries`` is a list of ``(key, old_payload, new_payload)`` with
+    ``None`` meaning *absent*: an insert is ``(k, None, p)``, a delete
+    ``(k, p, None)``, an update ``(k, p, p')``.  Payloads are the exact
+    objects the two snapshots enumerate, so applying a delta stream to a
+    stale materialization is bit-identical to a fresh drain (floats
+    included — patches set absolute values, they never re-add).
+    """
+
+    __slots__ = ("epoch_from", "epoch_to", "entries")
+
+    def __init__(
+        self,
+        epoch_from: int,
+        epoch_to: int,
+        entries: list[tuple[tuple, Any, Any]],
+    ):
+        self.epoch_from = epoch_from
+        self.epoch_to = epoch_to
+        self.entries = entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[tuple[tuple, Any, Any]]:
+        return iter(self.entries)
+
+    def apply_to(self, state: dict) -> None:
+        """Patch a dict materialization to this delta's ``epoch_to``.
+
+        Set-to-absolute semantics: values are overwritten, absences
+        deleted.  Applying to a state that already reflects part of a
+        *later* epoch still converges (every key that moved is in some
+        retained delta), which is what makes the full-refresh epoch
+        bookkeeping race-free under concurrent publishes.
+        """
+        pop = state.pop
+        for key, _old, new in self.entries:
+            if new is None:
+                pop(key, None)
+            else:
+                state[key] = new
+
+    def __repr__(self) -> str:
+        return (
+            f"OutputDelta({self.epoch_from}->{self.epoch_to}, "
+            f"{len(self.entries)} entries)"
+        )
+
+
+def compose_deltas(
+    deltas: list[OutputDelta], epoch_from: int, epoch_to: int
+) -> OutputDelta:
+    """Collapse consecutive per-epoch deltas into one.
+
+    Per key: the *old* payload comes from the first delta mentioning it,
+    the *new* from the last; keys that round-trip back to their original
+    payload drop out entirely.
+    """
+    old_of: dict[tuple, Any] = {}
+    new_of: dict[tuple, Any] = {}
+    for delta in deltas:
+        for key, old, new in delta.entries:
+            if key not in old_of:
+                old_of[key] = old
+            new_of[key] = new
+    entries = [
+        (key, old_of[key], new)
+        for key, new in new_of.items()
+        if old_of[key] != new
+    ]
+    return OutputDelta(epoch_from, epoch_to, entries)
+
+
+# ----------------------------------------------------------------------
+# Ring-aware wire encoding (shard worker CHANGES command, feeds)
+# ----------------------------------------------------------------------
+
+
+def encode_delta(delta: OutputDelta, ring) -> tuple:
+    """Encode a delta for the pipe, columnar like ``encode_batch``.
+
+    For rings with a ``numeric_dtype`` the old/new payload columns ship
+    as raw numpy bytes with ``0`` as the *absent* sentinel — sound
+    because stored payloads are never ring-zero (``Relation`` removes
+    cancelled entries), so ``0`` can't collide with a real payload.
+    Everything else ships plain Python columns.
+    """
+    entries = delta.entries
+    keys = [entry[0] for entry in entries]
+    if _np is not None and ring.numeric_dtype is not None:
+        dtype = ring.numeric_dtype
+        olds = _np.asarray(
+            [0 if entry[1] is None else entry[1] for entry in entries],
+            dtype=dtype,
+        ).tobytes()
+        news = _np.asarray(
+            [0 if entry[2] is None else entry[2] for entry in entries],
+            dtype=dtype,
+        ).tobytes()
+        return (delta.epoch_from, delta.epoch_to, "np", keys, olds, news)
+    olds_py = [entry[1] for entry in entries]
+    news_py = [entry[2] for entry in entries]
+    return (delta.epoch_from, delta.epoch_to, "py", keys, olds_py, news_py)
+
+
+def decode_delta(wire: tuple, ring) -> OutputDelta:
+    """Decode :func:`encode_delta` output (bit-identical payloads)."""
+    epoch_from, epoch_to, tag, keys, olds, news = wire
+    if tag == "np":
+        if _np is None:  # pragma: no cover - symmetric container
+            raise RuntimeError(
+                "numpy-encoded delta received without numpy available"
+            )
+        dtype = ring.numeric_dtype
+        old_col = _np.frombuffer(olds, dtype=dtype).tolist()
+        new_col = _np.frombuffer(news, dtype=dtype).tolist()
+        entries = [
+            (key, old if old else None, new if new else None)
+            for key, old, new in zip(keys, old_col, new_col)
+        ]
+    else:
+        entries = list(zip(keys, olds, news))
+    return OutputDelta(epoch_from, epoch_to, entries)
+
+
+def wire_size(wire: tuple) -> int:
+    """Approximate payload bytes of an encoded delta (obs accounting)."""
+    _f, _t, tag, keys, olds, news = wire
+    if tag == "np":
+        return len(olds) + len(news) + 16 * len(keys)
+    return 48 * len(keys)
+
+
+# ----------------------------------------------------------------------
+# Retained per-epoch delta window (shared by engine + shard trackers)
+# ----------------------------------------------------------------------
+
+
+class DeltaWindow:
+    """A bounded, contiguous window of per-epoch output deltas.
+
+    Mutations and reads may come from different threads (the serve
+    tier publishes on its commit worker thread while the event loop
+    composes catch-up deltas), so the deque is guarded by a lock.
+    """
+
+    def __init__(self, baseline_epoch: int, retain: int = RETAIN_EPOCHS):
+        #: Epoch the window starts at: ``changes_since(baseline)`` is
+        #: answerable (possibly empty), anything older is a gap.
+        self.baseline = baseline_epoch
+        self.epoch = baseline_epoch
+        self._deltas: deque[OutputDelta] = deque(maxlen=retain)
+        self._lock = threading.Lock()
+
+    def append(self, delta: OutputDelta) -> None:
+        with self._lock:
+            if delta.epoch_from != self.epoch:
+                raise ValueError(
+                    f"non-contiguous delta "
+                    f"{delta.epoch_from}->{delta.epoch_to} "
+                    f"appended at epoch {self.epoch}"
+                )
+            self._deltas.append(delta)
+            self.epoch = delta.epoch_to
+
+    def reset(self, baseline_epoch: int) -> None:
+        """Restart the window (pool rebuilds): older epochs become gaps."""
+        with self._lock:
+            self.baseline = baseline_epoch
+            self.epoch = baseline_epoch
+            self._deltas.clear()
+
+    def changes_since(self, epoch: int) -> OutputDelta:
+        """One composed delta from ``epoch`` to the window's newest.
+
+        Raises :class:`EpochGapError` when ``epoch`` predates the
+        window, ``ValueError`` when it lies in the future.
+        """
+        with self._lock:
+            if epoch > self.epoch:
+                raise ValueError(
+                    f"epoch {epoch} not published yet (at {self.epoch})"
+                )
+            if epoch == self.epoch:
+                return OutputDelta(epoch, epoch, [])
+            selected = [d for d in self._deltas if d.epoch_from >= epoch]
+            if not selected or selected[0].epoch_from != epoch:
+                raise EpochGapError(
+                    f"epoch {epoch} is outside the retained change window "
+                    f"(oldest available: "
+                    f"{selected[0].epoch_from if selected else self.epoch})"
+                )
+            return compose_deltas(selected, epoch, self.epoch)
+
+
+# ----------------------------------------------------------------------
+# Engine-side tracker
+# ----------------------------------------------------------------------
+
+
+class ChangeTracker:
+    """Maintains a :class:`DeltaWindow` for one ``ViewTreeEngine``.
+
+    Created lazily by ``ViewTreeEngine.track_changes()``: enables
+    dirty-key recording on exactly the relations enumeration reads and
+    baselines at the engine's current published snapshot.  On every
+    subsequent publish, :meth:`on_publish` drains the dirty sets into
+    patterns, re-enumerates both snapshots under each pattern, and
+    appends the resulting per-epoch delta.
+    """
+
+    def __init__(self, engine):
+        self.engine = engine
+        # Baseline at a *fresh* publish, not the last one: writes that
+        # landed after the previous publish are not in any dirty set, so
+        # an older baseline would silently under-report the next delta.
+        # record=False: enabling tracking is not an application-level
+        # epoch publish (keeps `epochs_published == commits + 1` for
+        # the serve tier).
+        snap = engine.publish_epoch(record=False)
+        head = engine.query.head
+        self.tracked: list = []
+        if head:
+            seen: dict[int, Any] = {}
+            schedule = engine._enum_schedule
+            if schedule is None:
+                schedule = engine._enum_schedule = (
+                    engine._enum_schedule_specs()
+                )
+            head_set = set(head)
+            for spec in schedule:
+                rels = (
+                    [spec[1]]
+                    if not spec[0]
+                    else [spec[2], *(leaf for leaf, _ in spec[6])]
+                )
+                for rel in rels:
+                    if not set(rel.schema.variables) <= head_set:
+                        raise TypeError(
+                            f"relation {rel.name!r} (schema "
+                            f"{rel.schema.variables!r}) escapes the head "
+                            f"{head!r}; change streams need a free-top "
+                            "order"
+                        )
+                    seen[id(rel)] = rel
+            self.tracked = list(seen.values())
+        for rel in self.tracked:
+            rel.track_dirty()
+        self._prev = snap
+        self.window = DeltaWindow(snap.number)
+
+    def on_publish(self, snap) -> OutputDelta:
+        """Diff the freshly-captured snapshot against the previous one."""
+        engine = self.engine
+        prev = self._prev
+        if engine.query.head:
+            entries = self._diff_patterns(prev, snap)
+        else:
+            entries = self._diff_scalar(prev, snap)
+        delta = OutputDelta(prev.number, snap.number, entries)
+        self._prev = snap
+        self.window.append(delta)
+        return delta
+
+    def _diff_scalar(self, prev, snap) -> list:
+        engine = self.engine
+        is_zero = engine.ring.is_zero
+        old = engine.scalar_snapshot(prev)
+        new = engine.scalar_snapshot(snap)
+        old_v = None if is_zero(old) else old
+        new_v = None if is_zero(new) else new
+        if old_v == new_v:
+            return []
+        return [((), old_v, new_v)]
+
+    def _diff_patterns(self, prev, snap) -> list:
+        engine = self.engine
+        patterns: dict[tuple, dict] = {}
+        for rel in self.tracked:
+            dirty = rel._dirty
+            if dirty:
+                rel._dirty = set()
+                variables = rel.schema.variables
+                for key in dirty:
+                    pat = (variables, key)
+                    if pat not in patterns:
+                        patterns[pat] = dict(zip(variables, key))
+        if not patterns:
+            return []
+        old_region: dict[tuple, Any] = {}
+        new_region: dict[tuple, Any] = {}
+        enumerate_ = engine._enumerate
+        for prebound in patterns.values():
+            # Overlapping patterns re-derive identical payloads for a
+            # shared output key, so plain dict overwrites dedupe them.
+            for key, payload in enumerate_(dict(prebound), None, epoch=prev):
+                old_region[key] = payload
+            for key, payload in enumerate_(dict(prebound), None, epoch=snap):
+                new_region[key] = payload
+        entries = []
+        for key, old in old_region.items():
+            new = new_region.get(key)
+            if new is None:
+                entries.append((key, old, None))
+            elif new != old:
+                entries.append((key, old, new))
+        for key, new in new_region.items():
+            if key not in old_region:
+                entries.append((key, None, new))
+        return entries
+
+    def changes_since(self, epoch: int) -> OutputDelta:
+        return self.window.changes_since(epoch)
+
+
+# ----------------------------------------------------------------------
+# Subscriber-side maintained materialization
+# ----------------------------------------------------------------------
+
+
+class MaterializedView:
+    """A dict materialization of the output, patched per epoch in O(δ).
+
+    ``source`` is any engine-like object exposing ``epoch`` (last
+    published epoch number), ``changes_since(epoch)`` and
+    ``enumerate_snapshot()`` — ``ViewTreeEngine``, ``ShardedEngine``
+    and the ``IVMEngine`` facade all qualify.  :meth:`refresh` patches
+    the state forward; it falls back to a full snapshot drain (counted
+    as ``full_refresh_fallbacks``) when the subscriber fell out of the
+    retained window or the delta/state ratio exceeds
+    ``ratio_threshold``.
+    """
+
+    def __init__(self, source, ratio_threshold: float = 0.5, stats=None):
+        self.source = source
+        self.ratio_threshold = ratio_threshold
+        self._stats = stats
+        self.state: dict[tuple, Any] = {}
+        self.epoch = 0
+        self.full_refreshes = 0
+        self._full_refresh(initial=True)
+
+    # -- stats plumbing -------------------------------------------------
+
+    def _recorder(self):
+        if self._stats is not None:
+            return self._stats
+        return getattr(self.source, "_maintenance_stats", None)
+
+    # -- read surface ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.state)
+
+    def items(self) -> Iterator[tuple[tuple, Any]]:
+        return iter(self.state.items())
+
+    def get(self, key: tuple, default: Any = None) -> Any:
+        return self.state.get(key, default)
+
+    @property
+    def scalar(self) -> Any:
+        """Maintained empty-head payload (``None`` when the output is zero)."""
+        return self.state.get(())
+
+    # -- maintenance ----------------------------------------------------
+
+    def refresh(self) -> bool:
+        """Catch the materialization up to the last published epoch.
+
+        Returns ``True`` when anything changed (including a fallback
+        drain), ``False`` when already current.
+        """
+        target = self.source.epoch
+        if target == self.epoch:
+            return False
+        try:
+            delta = self.source.changes_since(self.epoch)
+        except EpochGapError:
+            self._full_refresh()
+            return True
+        size = len(self.state)
+        if len(delta.entries) > self.ratio_threshold * max(size, 1):
+            self._full_refresh()
+            return True
+        start = time.perf_counter()
+        delta.apply_to(self.state)
+        self.epoch = delta.epoch_to
+        stats = self._recorder()
+        if stats is not None:
+            stats.record_change_patch(
+                time.perf_counter() - start,
+                len(delta.entries),
+                len(delta.entries) / max(size, 1),
+            )
+        return True
+
+    def _full_refresh(self, initial: bool = False) -> None:
+        # Epoch is read *before* the drain: if a publish lands mid-drain
+        # the state may mix epochs, but the next patch (set-to-absolute)
+        # re-converges it — see OutputDelta.apply_to.
+        epoch = self.source.epoch
+        self.state = dict(self.source.enumerate_snapshot())
+        self.epoch = epoch
+        if not initial:
+            self.full_refreshes += 1
+            stats = self._recorder()
+            if stats is not None:
+                stats.record_full_refresh()

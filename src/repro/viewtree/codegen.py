@@ -600,6 +600,16 @@ def _emit_sink(w: _Writer, ops: _Ops, rel: str, key_expr: str) -> None:
     w.emit("else:")
     with w.block():
         body(indexed=False)
+    # Dirty-key oracle (Relation.track_dirty): re-read per call so
+    # enabling change tracking after kernel generation still takes, and
+    # recompute the projection only on the tracked path.
+    w.emit("vdirty = vrel._dirty")
+    w.emit("if vdirty is not None:")
+    with w.block():
+        if key_expr == "dk":
+            w.emit("vdirty.update(dks)")
+        else:
+            w.emit(f"vdirty.update(({key_expr}) for dk in dks)")
     w.emit('COUNTER.bump("write", len(dks))')
 
 
@@ -668,6 +678,12 @@ def _emit_agg_sink(w: _Writer, ops: _Ops, rel: str, wrap: bool = False) -> None:
         body(indexed=False)
     w.emit("if dks:")
     with w.block():
+        # ``dks`` is exactly the set of view keys written above, so the
+        # dirty oracle costs one bulk update only when tracking is on.
+        w.emit("vdirty = vrel._dirty")
+        w.emit("if vdirty is not None:")
+        with w.block():
+            w.emit("vdirty.update(dks)")
         w.emit('COUNTER.bump("write", len(dks))')
 
 
@@ -728,13 +744,16 @@ def _emit_push_batch(w: _Writer, plan: DeltaPlan, ops: _Ops) -> None:
                 )
 
                 def emit_entry_write(
-                    data: str, ixs: str, key: str, get: str
+                    data: str, ixs: str, key: str, get: str, dirty: str
                 ) -> None:
                     # One Relation.add_delta entry inline; COW unshare,
-                    # the bound ``.get`` and the index list are hoisted
-                    # by the prologue.  ``ixs`` is usually empty, so the
-                    # posting loops cost one iterator setup on the
-                    # new/cancel paths only.
+                    # the bound ``.get``, the index list, and the dirty
+                    # set are hoisted by the prologue.  ``ixs`` is
+                    # usually empty, so the posting loops cost one
+                    # iterator setup on the new/cancel paths only.
+                    w.emit(f"if {dirty} is not None:")
+                    with w.block():
+                        w.emit(f"{dirty}.add({key})")
                     w.emit(f"old = {get}({key})")
                     w.emit("if old is None:")
                     with w.block():
@@ -765,6 +784,7 @@ def _emit_push_batch(w: _Writer, plan: DeltaPlan, ops: _Ops) -> None:
                         w.emit("gdata = grel.data")
                         w.emit("gget = gdata.get")
                         w.emit("gixs = list(grel._indexes.values())")
+                        w.emit("gdirty = grel._dirty")
                     if kind == "identity":
                         w.emit(f"vrel = VREL_{s}")
                         w.emit("if vrel._cow:")
@@ -773,6 +793,7 @@ def _emit_push_batch(w: _Writer, plan: DeltaPlan, ops: _Ops) -> None:
                         w.emit("vdata = vrel.data")
                         w.emit("vget = vdata.get")
                         w.emit("vixs = list(vrel._indexes.values())")
+                        w.emit("vdirty = vrel._dirty")
                         w.emit("out_k = []")
                         w.emit("out_p = []")
                         w.emit("ka = out_k.append")
@@ -799,11 +820,11 @@ def _emit_push_batch(w: _Writer, plan: DeltaPlan, ops: _Ops) -> None:
                         if gexpr != key:
                             w.emit(f"gk = {gexpr}")
                             gk = "gk"
-                        emit_entry_write("gdata", "gixs", gk, "gget")
+                        emit_entry_write("gdata", "gixs", gk, "gget", "gdirty")
                     if kind == "identity":
                         w.emit(f"ka({key})")
                         w.emit("pa(prod)")
-                        emit_entry_write("vdata", "vixs", key, "vget")
+                        emit_entry_write("vdata", "vixs", key, "vget", "vdirty")
                     elif kind == "scalar":
                         if step.lift is not None:
                             w.emit(

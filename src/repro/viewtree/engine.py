@@ -48,6 +48,7 @@ from .codegen import (
     compile_enum_kernel,
     new_codegen_info,
 )
+from .changes import ChangeTracker, MaterializedView, OutputDelta
 from .compile import DeltaPlan, compile_delta_plans
 from .enumplan import EnumPlan, _flatten, compile_enum_plan
 from .epoch import EpochSnapshot
@@ -242,6 +243,8 @@ class ViewTreeEngine(Observable):
         #: Last published epoch number and its frozen snapshot.
         self.epoch = 0
         self._epoch_snapshot: EpochSnapshot | None = None
+        #: Lazily-created per-epoch output change tracker (track_changes).
+        self._change_tracker: ChangeTracker | None = None
         self._updates_since_sample = 0
         if stats is not None:
             self.attach_stats(stats)
@@ -249,9 +252,13 @@ class ViewTreeEngine(Observable):
     def __getstate__(self):
         # Epoch snapshots are keyed by object identity, which does not
         # survive pickling (process-pool shards ship whole engines);
-        # the receiving side republishes after adoption.
+        # the receiving side republishes after adoption.  The change
+        # tracker holds snapshots too, so it is likewise dropped — the
+        # receiver re-enables tracking (subscribers see an epoch gap and
+        # fall back to a full drain).
         state = self.__dict__.copy()
         state["_epoch_snapshot"] = None
+        state["_change_tracker"] = None
         return state
 
     def _propagate_stats(self, stats) -> None:
@@ -581,10 +588,21 @@ class ViewTreeEngine(Observable):
         self.epoch += 1
         snap = EpochSnapshot.capture(self.epoch, self._snapshot_relations())
         self._epoch_snapshot = snap
+        # The change tracker diffs against the previous snapshot on every
+        # publish regardless of ``record`` — shard workers publish with
+        # record=False but their subscribers still need the delta stream.
+        tracker = self._change_tracker
+        delta = tracker.on_publish(snap) if tracker is not None else None
         if record:
             stats = self._maintenance_stats
             if stats is not None:
-                stats.record_epoch_publish(snap.cow_buckets, snap.cow_tables)
+                stats.record_epoch_publish(
+                    snap.cow_buckets,
+                    snap.cow_tables,
+                    len(delta) if delta is not None else 0,
+                )
+                if delta is not None:
+                    stats.record_change_delta(len(delta))
         return snap
 
     def snapshot(self) -> EpochSnapshot:
@@ -593,6 +611,55 @@ class ViewTreeEngine(Observable):
         if snap is None:
             snap = self.publish_epoch()
         return snap
+
+    # ------------------------------------------------------------------
+    # Output change streams
+    # ------------------------------------------------------------------
+
+    @property
+    def supports_changes(self) -> bool:
+        """Whether per-epoch output deltas are available.
+
+        Change extraction re-enumerates dirty patterns, so it needs the
+        factorized enumeration — a free-top order — or an empty head
+        (where the diff is one scalar comparison).
+        """
+        return not self.query.head or self.order.is_free_top()
+
+    def track_changes(self) -> None:
+        """Start emitting per-epoch output deltas (idempotent).
+
+        Baselines at the current published snapshot (publishing one if
+        none exists): ``changes_since`` answers from the next publish
+        on, and anything older than the baseline is an epoch gap.
+        """
+        if self._change_tracker is None:
+            if not self.supports_changes:
+                raise TypeError(
+                    f"query {self.query.name!r} has no free-top order; "
+                    "output change streams are unavailable"
+                )
+            self._change_tracker = ChangeTracker(self)
+
+    def changes_since(self, epoch: int) -> OutputDelta:
+        """One composed output delta from ``epoch`` to the latest publish.
+
+        Raises :class:`~repro.viewtree.changes.EpochGapError` when
+        ``epoch`` predates the retained window (or tracking enablement)
+        — never a silent partial delta.
+        """
+        self.track_changes()
+        return self._change_tracker.changes_since(epoch)
+
+    def subscribe(self, ratio_threshold: float = 0.5) -> MaterializedView:
+        """Register a maintained dict materialization of the output.
+
+        The returned :class:`~repro.viewtree.changes.MaterializedView`
+        is primed with a full drain of the current epoch; each
+        ``refresh()`` afterwards patches it forward in O(δ).
+        """
+        self.track_changes()
+        return MaterializedView(self, ratio_threshold)
 
     def scalar_snapshot(self, snap: EpochSnapshot | None = None) -> Any:
         """:meth:`scalar` against the published epoch."""
